@@ -1,0 +1,31 @@
+"""Ablation A2: sensitivity to the cost of non-contiguous DRAM accesses.
+
+The paper's motivation is that random / redundant accesses break sustained
+DRAM bandwidth.  This benchmark sweeps the extra cost of a non-burst access
+and shows that the baseline degrades roughly linearly while Smache, whose
+accesses are contiguous, barely notices.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.ablations import run_dram_penalty_ablation
+
+
+class TestDramPenaltyAblation:
+    def test_bench_dram_penalty_sweep(self, benchmark):
+        result = run_once(
+            benchmark,
+            run_dram_penalty_ablation,
+            penalties=(0, 2, 4, 8),
+            rows=11,
+            cols=11,
+            iterations=10,
+        )
+        print()
+        print(result.format())
+        # Baseline cycles grow substantially with the penalty; Smache's do not.
+        assert result.slowdown("baseline") > 3.0
+        assert result.slowdown("smache") < 1.2
+        # Baseline cycle counts increase monotonically with the penalty.
+        assert result.baseline_cycles == sorted(result.baseline_cycles)

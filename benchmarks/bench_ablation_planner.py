@@ -1,0 +1,32 @@
+"""Ablation A3: what the stream+static split buys over a stream-only window.
+
+Compares, across grid sizes, the on-chip elements needed by (a) a single
+window large enough to cover the circular wrap, (b) the paper's per-range
+Algorithm 1 without static-buffer merging, and (c) the global planner used in
+this reproduction.  The saving of (c) over (a) grows with the grid because
+the window would otherwise have to span the whole grid.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.ablations import run_planner_ablation
+
+
+class TestPlannerAblation:
+    def test_bench_planner_strategies(self, benchmark):
+        result = run_once(
+            benchmark,
+            run_planner_ablation,
+            grid_sizes=((11, 11), (64, 64), (256, 256), (1024, 1024)),
+        )
+        print()
+        print(result.format())
+        # the planner never loses to the stream-only window ...
+        for planner, stream_only in zip(result.planner_elements, result.stream_only_elements):
+            assert planner <= stream_only
+        # ... and on the 1M-element grid it saves the overwhelming majority of
+        # the on-chip storage (window 2W vs full-grid span ~2*W*H).
+        assert result.saving(-1) > 0.95
+        # the 11x11 validation case reproduces the 44-element plan
+        assert result.planner_elements[0] == 44

@@ -1,0 +1,65 @@
+"""Benchmark / regeneration of Figure 2 (experiment E1).
+
+Regenerates the paper's headline comparison — Smache vs the no-buffering
+baseline on the 11x11, 4-point-stencil validation case, 100 work-instances —
+and checks the shape of the result against the paper's reported values.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.figure2 import FIGURE2_METRICS, run_figure2
+from repro.eval.paper_constants import PAPER_FIGURE2
+
+
+@pytest.fixture(scope="module")
+def figure2_result():
+    return run_figure2(iterations=100)
+
+
+class TestFigure2Benchmark:
+    def test_bench_figure2_full(self, benchmark):
+        """Time the full Figure 2 regeneration (both designs, 100 instances)."""
+        result = run_once(benchmark, run_figure2, iterations=100)
+        print()
+        print(result.format())
+        # who wins, by roughly what factor
+        assert result.cycle_ratio < 0.30
+        assert 0.35 < result.traffic_ratio < 0.45
+        assert result.speedup > 2.0
+
+    def test_bench_smache_simulation_only(self, benchmark):
+        """Time just the Smache cycle-accurate simulation (100 instances)."""
+        from repro.arch.system import run_smache
+        from repro.core.config import SmacheConfig
+        from repro.reference.kernels import AveragingKernel
+        from repro.reference.stencil_exec import make_test_grid
+
+        config = SmacheConfig.paper_example()
+        grid_in = make_test_grid(config.grid, kind="ramp")
+        result = run_once(
+            benchmark, run_smache, config, grid_in, iterations=100, kernel=AveragingKernel()
+        )
+        assert result.cycles < PAPER_FIGURE2["smache"]["cycle_count"] * 1.10
+
+    def test_bench_baseline_simulation_only(self, benchmark):
+        """Time just the baseline cycle-accurate simulation (100 instances)."""
+        from repro.arch.system import run_baseline
+        from repro.core.config import SmacheConfig
+        from repro.reference.kernels import AveragingKernel
+        from repro.reference.stencil_exec import make_test_grid
+
+        config = SmacheConfig.paper_example()
+        grid_in = make_test_grid(config.grid, kind="ramp")
+        result = run_once(
+            benchmark, run_baseline, config, grid_in, iterations=100, kernel=AveragingKernel()
+        )
+        assert result.cycles == pytest.approx(
+            PAPER_FIGURE2["baseline"]["cycle_count"], rel=0.10
+        )
+
+    def test_every_metric_within_ten_percent_of_paper(self, figure2_result):
+        errors = figure2_result.paper_errors()
+        for design in ("baseline", "smache"):
+            for metric in FIGURE2_METRICS:
+                assert errors[design][metric] < 0.10

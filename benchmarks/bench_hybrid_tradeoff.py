@@ -1,0 +1,29 @@
+"""Benchmark / regeneration of the 1M-element hybrid trade-off (experiment E4)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.resources_exp import run_hybrid_tradeoff
+
+
+class TestHybridTradeoffBenchmark:
+    def test_bench_hybrid_tradeoff(self, benchmark):
+        """Case-R vs Case-H register/BRAM split on the 1024x1024 grid."""
+        result = run_once(benchmark, run_hybrid_tradeoff)
+        print()
+        print(result.format())
+        # the paper's numbers: ~66K registers / 131K BRAM bits vs ~1.5K / 196K
+        assert result.register_only["registers"] == pytest.approx(66_000, rel=0.05)
+        assert result.register_only["bram_bits"] == pytest.approx(131_000, rel=0.05)
+        assert result.hybrid["registers"] < 2_000
+        assert result.hybrid["bram_bits"] == pytest.approx(196_000, rel=0.05)
+
+    def test_bench_partition_sweep_1024(self, benchmark):
+        """Time a full DSE sweep of the 1M-element stream buffer."""
+        from repro.core.config import SmacheConfig
+        from repro.dse import explore_partitions
+
+        config = SmacheConfig.paper_example(1024, 1024)
+        points = run_once(benchmark, explore_partitions, config, steps=6)
+        regs = [p.cost.r_stream_bits for p in points]
+        assert regs == sorted(regs)

@@ -1,0 +1,23 @@
+"""Memory micro-benchmark (MP-Stream style) over the DRAM substrate.
+
+Reproduces the *motivation* measurement behind the paper (its reference [11]):
+sustained DRAM throughput collapses once the access pattern stops being
+contiguous, which is precisely why Smache works to preserve streaming.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.membench import AccessPattern, run_membench
+
+
+class TestMembench:
+    def test_bench_access_pattern_sweep(self, benchmark):
+        report = run_once(benchmark, run_membench, n_accesses=4096)
+        print()
+        print(report.format())
+        table = report.by_pattern()
+        # contiguous streaming sustains ~1 word/cycle, random collapses
+        assert table[AccessPattern.CONTIGUOUS].efficiency > 0.9
+        assert table[AccessPattern.RANDOM].efficiency < 0.3
+        assert report.contiguous_advantage() > 3.0

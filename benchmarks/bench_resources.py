@@ -1,0 +1,22 @@
+"""Benchmark / regeneration of the in-text resource comparison (experiment E3)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval.paper_constants import PAPER_RESOURCES
+from repro.eval.resources_exp import run_resources
+
+
+class TestResourcesBenchmark:
+    def test_bench_resources(self, benchmark):
+        """Synthesize both designs and compare against the paper's prose numbers."""
+        comparison = run_once(benchmark, run_resources)
+        print()
+        print(comparison.format())
+        rows = comparison.rows()
+        # shape: Smache pays ALMs/registers/BRAM for its buffers, the baseline
+        # uses almost nothing but no BRAM at all.
+        assert rows["baseline"]["bram_bits"] == 0
+        assert rows["smache"]["bram_bits"] == PAPER_RESOURCES["smache"]["bram_bits"]
+        assert rows["smache"]["registers"] > 3 * rows["baseline"]["registers"]
+        assert rows["smache"]["alms"] > 3 * rows["baseline"]["alms"]

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Design-space exploration: trading registers against BRAM bits.
+
+Section IV of the paper demonstrates the value of the hybrid stream buffer on
+a 1-million-element grid: the register-only mapping (Case-R) needs ~66K
+registers, while the hybrid mapping (Case-H) needs only ~1.5K registers at the
+price of more BRAM bits.  This example runs that exploration with the DSE
+module:
+
+1. sweep the register/BRAM split of the stream buffer for a 1024x1024 grid,
+2. print the Pareto front of the sweep,
+3. pick the best mapping under two different scarcity assumptions
+   (register-scarce vs BRAM-scarce), and
+4. check which mappings fit a small edge-class device once the kernel's own
+   resource budget is reserved.
+
+Run with:  python examples/dse_resource_tradeoff.py
+"""
+
+from repro.core.config import SmacheConfig
+from repro.dse import (
+    explore_partitions,
+    minimise_bram_bits,
+    minimise_registers,
+    select_best,
+)
+from repro.dse.explorer import pareto_front
+from repro.fpga.device import small_device, stratix_v
+from repro.fpga.resources import ResourceUsage
+
+GRID = (1024, 1024)
+
+
+def main() -> None:
+    config = SmacheConfig.paper_example(*GRID)
+    device = stratix_v()
+    # Assume the surrounding computation kernel and shell already consume a
+    # slice of the device; the front-end has to fit in what is left.
+    reserved = ResourceUsage(alms=40_000, registers=150_000, bram_bits=10_000_000)
+
+    print(f"=== sweep: register/BRAM split of the stream buffer ({GRID[0]}x{GRID[1]}) ===")
+    points = explore_partitions(config, device=device, steps=8, reserved=reserved)
+    header = f"{'mapping':<34}{'Rtotal bits':>14}{'Btotal bits':>14}{'Fmax MHz':>10}{'fits':>6}"
+    print(header)
+    for p in points:
+        print(
+            f"{p.label:<34}{p.cost.r_total_bits:>14}{p.cost.b_total_bits:>14}"
+            f"{p.synthesis.fmax_mhz:>10.1f}{str(p.fits):>6}"
+        )
+
+    print("\n=== Pareto front (register bits vs BRAM bits) ===")
+    for p in pareto_front(points):
+        print(f"  {p.label:<34} R={p.cost.r_total_bits:<8} B={p.cost.b_total_bits}")
+
+    print("\n=== best mapping under different scarcity assumptions ===")
+    register_scarce = select_best(points, minimise_registers)
+    bram_scarce = select_best(points, minimise_bram_bits)
+    print(f"  register-scarce design -> {register_scarce.label} "
+          f"(R={register_scarce.cost.r_total_bits}, B={register_scarce.cost.b_total_bits})")
+    print(f"  BRAM-scarce design     -> {bram_scarce.label} "
+          f"(R={bram_scarce.cost.r_total_bits}, B={bram_scarce.cost.b_total_bits})")
+
+    print("\n=== feasibility on a small edge-class device ===")
+    edge = small_device()
+    edge_points = explore_partitions(config, device=edge, steps=8)
+    feasible = [p for p in edge_points if p.fits]
+    print(f"  {len(feasible)}/{len(edge_points)} mappings fit {edge.name}")
+    best_edge = select_best(edge_points, minimise_bram_bits)
+    if best_edge is None:
+        print("  no mapping fits; the problem needs a larger device or tiling")
+    else:
+        util = edge.utilisation(best_edge.synthesis.usage)
+        print(f"  chosen mapping: {best_edge.label}")
+        print(f"  utilisation   : {util['registers']:.1%} registers, "
+              f"{util['bram_bits']:.1%} BRAM, {util['alms']:.1%} ALMs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""A zonally-periodic ocean-style diffusion model on Smache.
+
+The paper's motivation is scientific models whose circular boundary
+conditions create stencil offsets as large as the whole grid.  A classic
+example is a model on a cylindrical domain — periodic east-west (the flow
+wraps around the globe), closed north-south.  This example builds exactly
+that: an explicit heat-diffusion step on a 48x96 grid, periodic in the
+*column* dimension and open in the *row* dimension, and runs it through the
+cycle-accurate Smache system.
+
+Note how the buffer plan changes compared with the quickstart: the periodic
+dimension is now the *fast* (contiguous) one, so the wrap-around offsets are
+only +-(columns-1) and the planner decides they are cheap enough to keep in
+the stream window — no static buffers are needed.  Flipping the periodicity
+to the row dimension (the paper's case) brings the static buffers back.
+That is the "arbitrary boundaries" story of the paper in one script.
+
+Run with:  python examples/ocean_diffusion.py
+"""
+
+import numpy as np
+
+from repro.core.boundary import BoundaryKind, BoundarySpec, EdgeBehaviour
+from repro.core.config import SmacheConfig
+from repro.core.grid import GridSpec
+from repro.core.stencil import StencilShape
+from repro.arch.system import run_smache, run_baseline
+from repro.reference import WeightedKernel, reference_run
+from repro.reference.stencil_exec import make_test_grid
+
+ROWS, COLS = 48, 96
+ITERATIONS = 5
+NU = 0.2  # diffusion number (stable for the explicit scheme)
+
+
+def build_config(periodic_dimension: int) -> SmacheConfig:
+    """A diffusion problem periodic in the given dimension, open in the other."""
+    edges = [
+        EdgeBehaviour.both(
+            BoundaryKind.CIRCULAR if d == periodic_dimension else BoundaryKind.OPEN
+        )
+        for d in range(2)
+    ]
+    return SmacheConfig(
+        grid=GridSpec(shape=(ROWS, COLS), word_bytes=4),
+        stencil=StencilShape.five_point_2d(),
+        boundary=BoundarySpec(edges=tuple(edges)),
+        name=f"ocean-periodic-dim{periodic_dimension}",
+    )
+
+
+def main() -> None:
+    kernel = WeightedKernel.diffusion_2d(nu=NU)
+
+    for periodic_dimension, label in ((1, "periodic east-west (fast dimension)"),
+                                      (0, "periodic north-south (slow dimension)")):
+        config = build_config(periodic_dimension)
+        analysis = config.analysis()
+        print(f"=== {label} ===")
+        print(analysis.describe())
+
+        grid_in = make_test_grid(config.grid, kind="impulse")
+        reference = reference_run(
+            grid_in, config.grid, config.stencil, config.boundary, kernel, iterations=ITERATIONS
+        )
+        smache = run_smache(config, grid_in, iterations=ITERATIONS, kernel=kernel)
+        assert np.allclose(smache.output, reference), "Smache diverged from the reference model"
+
+        baseline = run_baseline(config, grid_in, iterations=ITERATIONS, kernel=kernel)
+        assert np.allclose(baseline.output, reference)
+
+        print(f"  heat conserved      : {np.isclose(smache.output.sum(), grid_in.sum())}")
+        print(f"  smache cycles       : {smache.cycles}  ({smache.cycles_per_point:.2f} per point)")
+        print(f"  baseline cycles     : {baseline.cycles}  ({baseline.cycles_per_point:.2f} per point)")
+        print(f"  DRAM traffic        : {smache.dram_traffic_kib:.1f} KiB vs "
+              f"{baseline.dram_traffic_kib:.1f} KiB (baseline)")
+        print(f"  traffic ratio       : {smache.dram_traffic_kib / baseline.dram_traffic_kib:.1%}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Smache reproduction: smart-caching for arbitrary stencils and boundaries on FPGAs.
+
+This package reproduces, in pure Python, the system described in
+
+    Nabi & Vanderbauwhede, "Smart-Cache: Optimising Memory Accesses for
+    Arbitrary Boundaries and Stencils on FPGAs", RAW @ IPDPS 2019.
+
+The package is organised as:
+
+``repro.core``
+    The paper's primary contribution: the formal stream/static buffering
+    model, the buffer-configuration planner (Algorithm 1), the hybrid
+    register/BRAM partitioning and the memory-resource cost model.
+
+``repro.sim``
+    A cycle-accurate, clocked simulation engine (components, channels,
+    FSMs) used to model the hardware prototypes.
+
+``repro.memory``
+    Memory substrates: DRAM (streaming vs random access), block RAM and
+    register files with FPGA-like port semantics.
+
+``repro.arch``
+    The Smache micro-architecture (stream buffer, double-buffered static
+    buffers, controller FSMs, kernels) and the no-buffering baseline.
+
+``repro.fpga``
+    FPGA device/resource models and the analytical synthesis estimator
+    (ALMs, registers, BRAM bits, Fmax).
+
+``repro.reference``
+    NumPy golden models used to validate the simulated hardware.
+
+``repro.dse``
+    Design-space exploration over buffer configurations.
+
+``repro.eval``
+    The experiment harness regenerating every table and figure of the
+    paper's evaluation section.
+"""
+
+from repro.core.grid import GridSpec, IterationPattern
+from repro.core.stencil import StencilShape
+from repro.core.boundary import BoundaryKind, BoundarySpec, EdgeBehaviour
+from repro.core.config import SmacheConfig, StreamBufferMode
+from repro.core.planner import plan_buffers
+from repro.core.cost_model import MemoryCostEstimate, estimate_memory_cost
+
+__all__ = [
+    "GridSpec",
+    "IterationPattern",
+    "StencilShape",
+    "BoundaryKind",
+    "BoundarySpec",
+    "EdgeBehaviour",
+    "SmacheConfig",
+    "StreamBufferMode",
+    "plan_buffers",
+    "MemoryCostEstimate",
+    "estimate_memory_cost",
+]
+
+__version__ = "1.0.0"

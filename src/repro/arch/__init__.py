@@ -1,0 +1,42 @@
+"""Cycle-accurate micro-architecture models.
+
+This package is the Python analogue of the paper's Verilog-HDL prototypes:
+
+* :class:`~repro.arch.smache.SmacheFrontEnd` — the Smache module of Fig. 1(b):
+  window (stream) buffer, double-buffered static buffers with write-through,
+  and the three controller FSMs;
+* :class:`~repro.arch.kernel.KernelHW` — the computation kernel (the paper's
+  4-point averaging filter, or any :class:`repro.reference.kernels.StencilKernel`);
+* :mod:`~repro.arch.baseline` — the no-buffering baseline master that reads
+  every stencil operand from DRAM;
+* :mod:`~repro.arch.system` — complete systems (DRAM + front-end + kernel +
+  write-back) for both designs, returning :class:`~repro.arch.system.SimulationResult`.
+"""
+
+from repro.arch.access_table import AccessTable, PointAccess
+from repro.arch.kernel import KernelHW, TupleData
+from repro.arch.smache import SmacheFrontEnd
+from repro.arch.static_buffer import StaticBufferHW
+from repro.arch.stream_buffer import WindowBuffer
+from repro.arch.system import (
+    BaselineSystem,
+    SimulationResult,
+    SmacheSystem,
+    run_baseline,
+    run_smache,
+)
+
+__all__ = [
+    "AccessTable",
+    "PointAccess",
+    "KernelHW",
+    "TupleData",
+    "SmacheFrontEnd",
+    "StaticBufferHW",
+    "WindowBuffer",
+    "BaselineSystem",
+    "SmacheSystem",
+    "SimulationResult",
+    "run_baseline",
+    "run_smache",
+]

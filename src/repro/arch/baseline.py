@@ -1,0 +1,222 @@
+"""The no-buffering baseline design.
+
+This is the comparison point of the paper's Figure 2: a straightforward
+master that, for every grid point of every work-instance, reads each stencil
+operand from DRAM, computes the kernel and writes the result back.  It has no
+on-chip stencil buffers, so it performs ``n_points`` word reads per grid point
+(4x redundancy for the 4-point stencil) and its access pattern is not
+contiguous, which in the paper's argument is exactly what breaks sustained
+DRAM bandwidth.
+
+To keep the comparison fair the baseline is still *pipelined*: it issues read
+requests back-to-back and overlaps the kernel computation and the result
+write with subsequent reads.  The bottleneck is the shared DRAM command bus
+(one transaction per cycle), which matches the paper's observed ~5 cycles per
+grid point.
+
+Open-boundary operands, which do not exist, are handled the way a naive HDL
+master handles them: the address calculation clamps to the centre element and
+the fetched word is ignored by the kernel.  The word is still transferred, so
+the baseline's DRAM traffic is exactly ``(n_points + 1) * N`` words per
+work-instance, matching the paper's traffic accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.arch.access_table import AccessTable
+from repro.core.boundary import ResolutionKind
+from repro.memory.dram import DRAMCommand, DRAMModel
+from repro.reference.kernels import StencilKernel
+from repro.sim.engine import Component, Simulator
+from repro.sim.stats import StatsCollector
+
+
+@dataclass(frozen=True)
+class _FetchPlanEntry:
+    """Pre-resolved fetch schedule for one grid point."""
+
+    linear: int
+    fetch_offsets: Tuple[int, ...]          # relative addresses to fetch (length == n_points)
+    participate: Tuple[bool, ...]           # does fetch i feed the kernel?
+    offsets: Tuple[Tuple[int, ...], ...]    # grid offsets of the participating fetches
+    constant_offsets: Tuple[Tuple[int, ...], ...]
+    constant_values: Tuple[float, ...]
+
+
+def build_fetch_plan(table: AccessTable) -> List[_FetchPlanEntry]:
+    """Translate an access table into the baseline's per-point fetch schedule."""
+    plan: List[_FetchPlanEntry] = []
+    for linear in range(len(table)):
+        point = table[linear]
+        fetch_rel: List[int] = []
+        participate: List[bool] = []
+        offsets: List[Tuple[int, ...]] = []
+        const_offsets: List[Tuple[int, ...]] = []
+        const_values: List[float] = []
+        for acc in point.accesses:
+            if acc.kind is ResolutionKind.CONSTANT:
+                # no fetch needed; the constant is injected at compute time,
+                # but the naive master still issues a (dummy) centre read to
+                # keep its fetch schedule regular.
+                fetch_rel.append(linear)
+                participate.append(False)
+                const_offsets.append(acc.offset)
+                const_values.append(float(acc.constant))
+            elif acc.kind is ResolutionKind.SKIPPED:
+                fetch_rel.append(linear)
+                participate.append(False)
+            else:
+                fetch_rel.append(acc.target)
+                participate.append(True)
+                offsets.append(acc.offset)
+        plan.append(
+            _FetchPlanEntry(
+                linear=linear,
+                fetch_offsets=tuple(fetch_rel),
+                participate=tuple(participate),
+                offsets=tuple(offsets),
+                constant_offsets=tuple(const_offsets),
+                constant_values=tuple(const_values),
+            )
+        )
+    return plan
+
+
+class BaselineMaster(Component):
+    """Issues reads, collects operands, computes and writes back — no buffers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dram: DRAMModel,
+        table: AccessTable,
+        kernel: StencilKernel,
+        iterations: int,
+        base_a: int = 0,
+        base_b: Optional[int] = None,
+        name: str = "baseline",
+        stats: Optional[StatsCollector] = None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.dram = dram
+        self.table = table
+        self.kernel = kernel
+        self.iterations = iterations
+        self.grid_words = len(table)
+        self.base_a = base_a
+        self.base_b = base_b if base_b is not None else base_a + self.grid_words
+        self.stats = stats or StatsCollector(name)
+        self.fetch_plan = build_fetch_plan(table)
+
+        # request side
+        self._req_instance = 0
+        self._req_point = 0
+        self._req_operand = 0
+        # response / compute side
+        self._rsp_instance = 0
+        self._rsp_point = 0
+        self._collected: List[float] = []
+        self._compute_pipe: Deque[Tuple[int, int, float]] = deque()  # (ready, addr, value)
+        self._writes_issued = 0
+
+        self.operations = 0
+        self.points_completed = 0
+
+    # ------------------------------------------------------------------ #
+    def src_base(self, instance: int) -> int:
+        """DRAM base address of the grid copy read by ``instance``."""
+        return self.base_a if instance % 2 == 0 else self.base_b
+
+    def dst_base(self, instance: int) -> int:
+        """DRAM base address of the grid copy written by ``instance``."""
+        return self.base_b if instance % 2 == 0 else self.base_a
+
+    @property
+    def done(self) -> bool:
+        """True when every work-instance has been computed and written."""
+        return (
+            self._req_instance >= self.iterations
+            and self._rsp_instance >= self.iterations
+            and not self._compute_pipe
+            and self.dram.writes_completed >= self.iterations * self.grid_words
+        )
+
+    def finished(self) -> bool:
+        return self.done
+
+    def reset(self) -> None:
+        self._req_instance = 0
+        self._req_point = 0
+        self._req_operand = 0
+        self._rsp_instance = 0
+        self._rsp_point = 0
+        self._collected = []
+        self._compute_pipe.clear()
+        self._writes_issued = 0
+        self.operations = 0
+        self.points_completed = 0
+
+    # ------------------------------------------------------------------ #
+    def _advance_request(self) -> None:
+        entry = self.fetch_plan[self._req_point]
+        self._req_operand += 1
+        if self._req_operand >= len(entry.fetch_offsets):
+            self._req_operand = 0
+            self._req_point += 1
+            if self._req_point >= self.grid_words:
+                self._req_point = 0
+                self._req_instance += 1
+
+    def _request_allowed(self) -> bool:
+        """A new instance may only start once the previous one is fully in DRAM."""
+        if self._req_instance >= self.iterations:
+            return False
+        if self._req_point == 0 and self._req_operand == 0 and self._req_instance > 0:
+            return self.dram.writes_completed >= self._req_instance * self.grid_words
+        return True
+
+    def tick(self) -> None:
+        if self.iterations == 0:
+            return
+        # Issue at most one read request per cycle.
+        if self._request_allowed() and self.dram.read_cmd.can_push():
+            entry = self.fetch_plan[self._req_point]
+            addr = self.src_base(self._req_instance) + entry.fetch_offsets[self._req_operand]
+            self.dram.read_cmd.push(DRAMCommand(kind="read", addr=addr, tag=self._req_point))
+            self._advance_request()
+
+        # Collect at most one response per cycle.
+        if self._rsp_instance < self.iterations and self.dram.read_rsp.can_pop():
+            rsp = self.dram.read_rsp.pop()
+            self._collected.append(rsp.data)
+            entry = self.fetch_plan[self._rsp_point]
+            if len(self._collected) == len(entry.fetch_offsets):
+                offsets = list(entry.offsets) + list(entry.constant_offsets)
+                values = [
+                    v for use, v in zip(entry.participate, self._collected) if use
+                ] + list(entry.constant_values)
+                result = self.kernel.apply(tuple(offsets), tuple(values))
+                self.operations += self.kernel.ops_per_point
+                self.stats.incr("kernel_ops", self.kernel.ops_per_point)
+                dst = self.dst_base(self._rsp_instance) + entry.linear
+                self._compute_pipe.append((self.cycle + self.kernel.latency, dst, result))
+                self._collected = []
+                self._rsp_point += 1
+                self.points_completed += 1
+                if self._rsp_point >= self.grid_words:
+                    self._rsp_point = 0
+                    self._rsp_instance += 1
+
+        # Issue at most one write per cycle once the kernel latency has elapsed.
+        if (
+            self._compute_pipe
+            and self._compute_pipe[0][0] <= self.cycle
+            and self.dram.write_cmd.can_push()
+        ):
+            _, addr, value = self._compute_pipe.popleft()
+            self.dram.write_cmd.push(DRAMCommand(kind="write", addr=addr, data=value))
+            self._writes_issued += 1

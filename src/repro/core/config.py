@@ -1,0 +1,174 @@
+"""Smache configuration: the public, user-facing entry point of the core API.
+
+A :class:`SmacheConfig` bundles a stencil problem (grid, stencil, boundary
+conditions) with the architecture knobs (stream-buffer mode, word width,
+planner constraints) and exposes the two-layer customisation described in
+Section III of the paper:
+
+* the **structural layer** — the number of static buffers and the
+  register/BRAM mapping mode — fixes the generated hardware structure; and
+* the **parameter layer** — grid extents, stencil offsets, buffer base
+  addresses and sizes — specialises that structure to a problem without
+  changing it.
+
+Typical use::
+
+    config = SmacheConfig.paper_example()          # 11x11, 4-point, circular N/S
+    plan = config.plan()                           # buffer configuration
+    cost = config.cost_estimate()                  # Table-I style estimate
+    system = build_smache_system(config)           # repro.arch: cycle-accurate HW
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional
+
+from repro.core.analysis import StencilAnalysis, analyse_static_buffers
+from repro.core.boundary import BoundarySpec
+from repro.core.buffers import BufferPlan
+from repro.core.cost_model import MemoryCostEstimate, estimate_memory_cost
+from repro.core.grid import GridSpec
+from repro.core.partition import (
+    HybridPartition,
+    StreamBufferMode,
+    partition_for_plan,
+)
+from repro.core.stencil import StencilShape
+
+
+@dataclass(frozen=True)
+class SmacheConfig:
+    """Complete description of a Smache instance for one stencil problem."""
+
+    grid: GridSpec
+    stencil: StencilShape
+    boundary: BoundarySpec
+    mode: StreamBufferMode = StreamBufferMode.HYBRID
+    word_bits: Optional[int] = None
+    max_stream_reach: Optional[int] = None
+    max_total_bits: Optional[int] = None
+    register_elements: Optional[int] = None
+    kernel_ops_per_point: int = 4
+    name: str = "smache"
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper_example(cls, rows: int = 11, cols: int = 11, **overrides) -> "SmacheConfig":
+        """The paper's validation case: RxC grid, 4-point stencil, circular
+        horizontal boundaries, open vertical boundaries."""
+        config = cls(
+            grid=GridSpec(shape=(rows, cols), word_bytes=4),
+            stencil=StencilShape.four_point_2d(),
+            boundary=BoundarySpec.paper_2d(),
+            name=f"paper-{rows}x{cols}",
+        )
+        return replace(config, **overrides) if overrides else config
+
+    @classmethod
+    def periodic_2d(cls, rows: int, cols: int, stencil: Optional[StencilShape] = None,
+                    **overrides) -> "SmacheConfig":
+        """Fully periodic 2D grid (both boundary pairs circular)."""
+        config = cls(
+            grid=GridSpec(shape=(rows, cols), word_bytes=4),
+            stencil=stencil or StencilShape.five_point_2d(),
+            boundary=BoundarySpec.all_circular(2),
+            name=f"periodic-{rows}x{cols}",
+        )
+        return replace(config, **overrides) if overrides else config
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def effective_word_bits(self) -> int:
+        """Element width used for buffer sizing."""
+        return self.word_bits if self.word_bits is not None else self.grid.word_bits
+
+    def analysis(self) -> StencilAnalysis:
+        """Static analysis of the stencil problem (structural layer)."""
+        return analyse_static_buffers(
+            self.grid,
+            self.stencil,
+            self.boundary,
+            max_stream_reach=self.max_stream_reach,
+            max_total_bits=self.max_total_bits,
+        )
+
+    def plan(self) -> BufferPlan:
+        """Buffer configuration for this problem."""
+        return self.analysis().plan
+
+    def partition(self, plan: Optional[BufferPlan] = None) -> HybridPartition:
+        """Register/BRAM partition of the stream buffer."""
+        if plan is None:
+            plan = self.plan()
+        return partition_for_plan(
+            plan, self.mode, register_elements=self.register_elements
+        )
+
+    def cost_estimate(self, plan: Optional[BufferPlan] = None) -> MemoryCostEstimate:
+        """Table-I style on-chip memory estimate."""
+        if plan is None:
+            plan = self.plan()
+        return estimate_memory_cost(
+            plan,
+            self.mode,
+            partition=self.partition(plan),
+        )
+
+    # ------------------------------------------------------------------ #
+    # two-layer customisation
+    # ------------------------------------------------------------------ #
+    def structural_signature(self) -> Mapping[str, object]:
+        """The structural layer: what would have to be re-generated in HDL."""
+        plan = self.plan()
+        return {
+            "n_static_buffers": plan.n_static_buffers,
+            "mode": self.mode.value,
+            "n_taps": len([o for o in plan.lookup_offsets() if o != 0]),
+        }
+
+    def parameters(self) -> Mapping[str, object]:
+        """The parameter layer: runtime-configurable values."""
+        plan = self.plan()
+        return {
+            "grid_shape": self.grid.shape,
+            "word_bits": self.effective_word_bits,
+            "window_lo": plan.stream.window_lo,
+            "window_hi": plan.stream.window_hi,
+            "window_depth": plan.stream.depth,
+            "static_buffers": tuple(
+                {"name": s.name, "start": s.start, "length": s.length} for s in plan.statics
+            ),
+        }
+
+    def is_structurally_compatible(self, other: "SmacheConfig") -> bool:
+        """True if ``other`` can be hosted on hardware generated for ``self``.
+
+        A Smache instance generated with N static buffers and a given stream
+        mode can execute any problem needing at most N static buffers in the
+        same mode (the extra buffers are simply parameterised to length 0).
+        """
+        mine = self.structural_signature()
+        theirs = other.structural_signature()
+        return (
+            theirs["n_static_buffers"] <= mine["n_static_buffers"]
+            and theirs["mode"] == mine["mode"]
+        )
+
+    def describe(self) -> str:
+        """Multi-line summary used by examples."""
+        plan = self.plan()
+        partition = self.partition(plan)
+        cost = self.cost_estimate(plan)
+        lines = [
+            f"SmacheConfig '{self.name}'",
+            plan.describe(),
+            f"  stream mapping : {partition.describe()}",
+            f"  memory cost    : {cost.r_total_bits} register bits, "
+            f"{cost.b_total_bits} BRAM bits",
+        ]
+        return "\n".join(lines)

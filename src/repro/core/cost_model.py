@@ -1,0 +1,131 @@
+"""Memory-resource cost model (Table I "Estimate" rows).
+
+The Smache architecture consumes two kinds of on-chip memory: registers
+(distributed memory) and block-RAM bits.  The cost model predicts both from a
+:class:`~repro.core.buffers.BufferPlan` and a register/BRAM partition of the
+stream buffer, following the structural accounting of the prototype HDL:
+
+* **static buffers** are placed in BRAM (they are indexed, word-wide and
+  double buffered), so each contributes ``2 · size · word_bits`` BRAM bits;
+* the **stream buffer** contributes ``register_elements · word_bits`` register
+  bits and ``bram_elements · word_bits`` BRAM bits, where the split comes from
+  :mod:`repro.core.partition`.
+
+The "Actual" columns of Table I come from synthesis; our analogue of synthesis
+is :mod:`repro.fpga.synthesis`, which walks the same structure but adds the
+implementation overheads a vendor tool introduces (FIFO pointer/control
+registers, BRAM word-width rounding).  The paper's claim being reproduced is
+that the *estimate closely tracks the actual*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.buffers import BufferPlan
+from repro.core.partition import (
+    HybridPartition,
+    StreamBufferMode,
+    partition_for_plan,
+)
+
+
+@dataclass(frozen=True)
+class MemoryCostEstimate:
+    """Predicted on-chip memory utilisation, split the same way as Table I."""
+
+    #: Register bits used by static buffers (``Rsc``).
+    r_static_bits: int
+    #: BRAM bits used by static buffers (``Bsc``).
+    b_static_bits: int
+    #: Register bits used by the stream buffer (``Rsm``).
+    r_stream_bits: int
+    #: BRAM bits used by the stream buffer (``Bsm``).
+    b_stream_bits: int
+
+    @property
+    def r_total_bits(self) -> int:
+        """Total register bits (``Rtotal``)."""
+        return self.r_static_bits + self.r_stream_bits
+
+    @property
+    def b_total_bits(self) -> int:
+        """Total BRAM bits (``Btotal``)."""
+        return self.b_static_bits + self.b_stream_bits
+
+    @property
+    def total_bits(self) -> int:
+        """Total on-chip memory bits of either kind."""
+        return self.r_total_bits + self.b_total_bits
+
+    def as_table_row(self) -> Mapping[str, int]:
+        """The six columns of Table I, in the paper's order."""
+        return {
+            "Rsc": self.r_static_bits,
+            "Bsc": self.b_static_bits,
+            "Rsm": self.r_stream_bits,
+            "Bsm": self.b_stream_bits,
+            "Rtotal": self.r_total_bits,
+            "Btotal": self.b_total_bits,
+        }
+
+
+def estimate_memory_cost(
+    plan: BufferPlan,
+    mode: StreamBufferMode = StreamBufferMode.HYBRID,
+    *,
+    partition: Optional[HybridPartition] = None,
+    statics_in_bram: bool = True,
+) -> MemoryCostEstimate:
+    """Estimate register and BRAM bits for a buffer plan.
+
+    Parameters
+    ----------
+    plan:
+        The buffer configuration produced by :func:`repro.core.planner.plan_buffers`.
+    mode:
+        Stream-buffer mapping (register-only vs hybrid); ignored when an
+        explicit ``partition`` is supplied.
+    partition:
+        An explicit register/BRAM partition (e.g. one point of a DSE sweep).
+    statics_in_bram:
+        The prototype places static buffers in BRAM; set ``False`` to model a
+        register-based static buffer (useful for very small boundary sets).
+    """
+    if partition is None:
+        partition = partition_for_plan(plan, mode)
+
+    static_bits = plan.static_bits
+    r_static = 0 if statics_in_bram else static_bits
+    b_static = static_bits if statics_in_bram else 0
+
+    return MemoryCostEstimate(
+        r_static_bits=r_static,
+        b_static_bits=b_static,
+        r_stream_bits=partition.register_bits,
+        b_stream_bits=partition.bram_bits,
+    )
+
+
+def compare_estimates(
+    estimate: MemoryCostEstimate,
+    actual: MemoryCostEstimate,
+) -> Mapping[str, float]:
+    """Relative error of an estimate against a (synthesised) actual, per column.
+
+    Columns where the actual is zero and the estimate is zero report an error
+    of 0.0; columns where the actual is zero but the estimate is not report
+    ``inf`` so that regressions are visible.
+    """
+    est_row = estimate.as_table_row()
+    act_row = actual.as_table_row()
+    errors = {}
+    for key in est_row:
+        a = act_row[key]
+        e = est_row[key]
+        if a == 0:
+            errors[key] = 0.0 if e == 0 else float("inf")
+        else:
+            errors[key] = abs(e - a) / a
+    return errors

@@ -1,0 +1,219 @@
+"""Grid and iteration-pattern model.
+
+The paper's formal model (Section II) starts from a vector ``m`` of size ``N``
+representing the contents of the off-chip DRAM, plus input/output iteration
+patterns ``p_i`` / ``p_o`` over ``0 .. N-1``.  In practice the data is an
+N-dimensional grid stored in row-major order and the iteration pattern is the
+contiguous (streaming) order, but both are kept general here:
+
+* :class:`GridSpec` describes the logical grid (shape, word size) and provides
+  the linearisation used to map grid coordinates onto stream positions.
+* :class:`IterationPattern` describes the order in which grid elements are
+  visited by the stream.  Contiguous and strided patterns are provided as
+  constructors; arbitrary permutations are accepted for the general case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_shape
+
+Coord = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """An N-dimensional grid of words stored row-major in DRAM.
+
+    Parameters
+    ----------
+    shape:
+        Extent of each dimension, outermost first.  A 2D grid of ``R`` rows
+        and ``C`` columns is ``(R, C)`` and is linearised row by row, which
+        matches the streaming order used throughout the paper.
+    word_bytes:
+        Size of one grid element in bytes (the paper uses 4-byte words).
+    word_bits:
+        Size of one grid element in bits.  Defaults to ``8 * word_bytes``.
+    """
+
+    shape: Tuple[int, ...]
+    word_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        check_shape("shape", self.shape)
+        check_positive("word_bytes", self.word_bytes)
+
+    # ------------------------------------------------------------------ #
+    # basic geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def ndim(self) -> int:
+        """Number of grid dimensions."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements (the paper's ``N``)."""
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def word_bits(self) -> int:
+        """Element width in bits."""
+        return self.word_bytes * 8
+
+    @property
+    def total_bytes(self) -> int:
+        """Total footprint of one copy of the grid in DRAM."""
+        return self.size * self.word_bytes
+
+    @property
+    def strides(self) -> Tuple[int, ...]:
+        """Row-major strides in *elements* (not bytes)."""
+        strides = [1] * self.ndim
+        for d in range(self.ndim - 2, -1, -1):
+            strides[d] = strides[d + 1] * self.shape[d + 1]
+        return tuple(strides)
+
+    # ------------------------------------------------------------------ #
+    # linearisation
+    # ------------------------------------------------------------------ #
+    def linear_index(self, coord: Sequence[int]) -> int:
+        """Map a grid coordinate onto its linear (stream) index.
+
+        Raises ``IndexError`` if the coordinate is outside the grid; boundary
+        resolution is the job of :class:`repro.core.boundary.BoundarySpec`.
+        """
+        if len(coord) != self.ndim:
+            raise ValueError(f"coordinate {coord!r} has wrong arity for grid {self.shape}")
+        idx = 0
+        for c, extent, stride in zip(coord, self.shape, self.strides):
+            if not (0 <= c < extent):
+                raise IndexError(f"coordinate {tuple(coord)!r} outside grid {self.shape}")
+            idx += c * stride
+        return idx
+
+    def coord(self, linear: int) -> Coord:
+        """Inverse of :meth:`linear_index`."""
+        if not (0 <= linear < self.size):
+            raise IndexError(f"linear index {linear} outside grid of size {self.size}")
+        out = []
+        rem = linear
+        for stride in self.strides:
+            out.append(rem // stride)
+            rem %= stride
+        return tuple(out)
+
+    def contains(self, coord: Sequence[int]) -> bool:
+        """True if ``coord`` lies inside the grid."""
+        return len(coord) == self.ndim and all(
+            0 <= c < extent for c, extent in zip(coord, self.shape)
+        )
+
+    def linear_offset(self, offset: Sequence[int]) -> int:
+        """Linearise a *relative* stencil offset (valid for interior points)."""
+        if len(offset) != self.ndim:
+            raise ValueError(f"offset {offset!r} has wrong arity for grid {self.shape}")
+        return sum(o * stride for o, stride in zip(offset, self.strides))
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+    def coords(self) -> Iterator[Coord]:
+        """Iterate over all coordinates in row-major (stream) order."""
+        for linear in range(self.size):
+            yield self.coord(linear)
+
+    def empty_array(self, dtype=np.float64) -> np.ndarray:
+        """Allocate a zeroed NumPy array with this grid's shape."""
+        return np.zeros(self.shape, dtype=dtype)
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        dims = "x".join(str(s) for s in self.shape)
+        return f"{dims} grid, {self.word_bytes}-byte words ({self.total_bytes} bytes)"
+
+
+@dataclass(frozen=True)
+class IterationPattern:
+    """An ordered visit pattern over the linear indices of a grid.
+
+    The paper defines the input/output streams as ``s[i] = m[p(i)]`` for an
+    iteration pattern ``p``.  The common case is the contiguous pattern
+    (identity permutation); strided and explicit patterns support the more
+    general definition in Section II.
+    """
+
+    grid: GridSpec
+    kind: str = "contiguous"
+    stride: int = 1
+    explicit: Tuple[int, ...] | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("contiguous", "strided", "explicit"):
+            raise ValueError(f"unknown iteration pattern kind {self.kind!r}")
+        if self.kind == "strided":
+            check_positive("stride", self.stride)
+        if self.kind == "explicit":
+            if self.explicit is None:
+                raise ValueError("explicit iteration pattern requires 'explicit' indices")
+            object.__setattr__(self, "explicit", tuple(int(i) for i in self.explicit))
+            for i in self.explicit:
+                if not (0 <= i < self.grid.size):
+                    raise ValueError(f"explicit index {i} outside grid of size {self.grid.size}")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def contiguous(cls, grid: GridSpec) -> "IterationPattern":
+        """The streaming order: 0, 1, 2, ... N-1."""
+        return cls(grid=grid, kind="contiguous")
+
+    @classmethod
+    def strided(cls, grid: GridSpec, stride: int) -> "IterationPattern":
+        """Visit every ``stride``-th element (wrapping phase by phase).
+
+        The pattern still visits every element exactly once: it visits
+        0, s, 2s, ..., then 1, 1+s, ..., covering all residue classes.
+        """
+        return cls(grid=grid, kind="strided", stride=stride)
+
+    @classmethod
+    def from_indices(cls, grid: GridSpec, indices: Sequence[int]) -> "IterationPattern":
+        """An arbitrary (possibly partial) ordered subset of ``0..N-1``."""
+        return cls(grid=grid, kind="explicit", explicit=tuple(indices))
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        if self.kind == "explicit":
+            assert self.explicit is not None
+            return len(self.explicit)
+        return self.grid.size
+
+    def indices(self) -> Iterator[int]:
+        """Yield the visited linear indices in order."""
+        n = self.grid.size
+        if self.kind == "contiguous":
+            yield from range(n)
+        elif self.kind == "strided":
+            for phase in range(min(self.stride, n)):
+                yield from range(phase, n, self.stride)
+        else:
+            assert self.explicit is not None
+            yield from self.explicit
+
+    def is_contiguous(self) -> bool:
+        """True if the pattern is the identity (pure streaming) order."""
+        if self.kind == "contiguous":
+            return True
+        if self.kind == "strided":
+            return self.stride == 1
+        assert self.explicit is not None
+        return tuple(self.explicit) == tuple(range(self.grid.size))

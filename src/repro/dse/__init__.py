@@ -1,0 +1,30 @@
+"""Design-space exploration over Smache buffer configurations.
+
+The paper motivates its memory cost model with design-space exploration
+(DSE): because the hybrid stream buffer lets the designer trade BRAM bits
+against registers, a tool (or a human) can pick the mapping that fits the
+resources left over by the computation kernel and the shell.  This package
+provides that exploration loop: sweep candidate register/BRAM partitions
+(and, optionally, problem sizes), price each candidate with the cost model
+and the synthesis estimator, check it against a device, and pick the best
+one under a caller-supplied objective.
+"""
+
+from repro.dse.objectives import (
+    minimise_bram_bits,
+    minimise_registers,
+    minimise_total_memory_bits,
+    weighted_balance,
+)
+from repro.dse.explorer import DesignPoint, explore_partitions, explore_grid_sizes, select_best
+
+__all__ = [
+    "DesignPoint",
+    "explore_partitions",
+    "explore_grid_sizes",
+    "select_best",
+    "minimise_bram_bits",
+    "minimise_registers",
+    "minimise_total_memory_bits",
+    "weighted_balance",
+]

@@ -1,0 +1,176 @@
+"""Exploration of the register/BRAM mapping space for the stream buffer.
+
+The explored axis is the paper's hybridisation knob: how many of the stream
+buffer's window slots are registers (from the minimal Case-H point, where only
+the stencil taps are registers, to the Case-R extreme, where the whole window
+is).  Each candidate is priced with the cost model and the synthesis
+estimator, and checked against a device's remaining resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.buffers import BufferPlan
+from repro.core.config import SmacheConfig
+from repro.core.cost_model import MemoryCostEstimate, estimate_memory_cost
+from repro.core.partition import (
+    HybridPartition,
+    StreamBufferMode,
+    hybrid_register_slots,
+    partition_stream_buffer,
+)
+from repro.fpga.device import FPGADevice
+from repro.fpga.resources import ResourceUsage
+from repro.fpga.synthesis import SynthesisReport, synthesize_smache
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One explored configuration with everything needed to rank it."""
+
+    config: SmacheConfig
+    plan: BufferPlan
+    partition: HybridPartition
+    cost: MemoryCostEstimate
+    synthesis: SynthesisReport
+    fits: bool
+
+    @property
+    def label(self) -> str:
+        """Short label used in reports (register slots / total slots)."""
+        return (
+            f"{self.partition.register_elements}/{self.partition.depth} register slots "
+            f"({self.partition.mode.value})"
+        )
+
+
+def _make_point(
+    config: SmacheConfig,
+    plan: BufferPlan,
+    partition: HybridPartition,
+    device: Optional[FPGADevice],
+    reserved: ResourceUsage,
+) -> DesignPoint:
+    cost = estimate_memory_cost(plan, partition=partition)
+    synthesis = synthesize_smache(config, plan=plan, partition=partition)
+    fits = True
+    if device is not None:
+        fits = device.fits(synthesis.usage + reserved)
+    return DesignPoint(
+        config=config,
+        plan=plan,
+        partition=partition,
+        cost=cost,
+        synthesis=synthesis,
+        fits=fits,
+    )
+
+
+def explore_partitions(
+    config: SmacheConfig,
+    device: Optional[FPGADevice] = None,
+    steps: int = 8,
+    reserved: Optional[ResourceUsage] = None,
+) -> List[DesignPoint]:
+    """Sweep the register/BRAM split of the stream buffer.
+
+    Parameters
+    ----------
+    config:
+        The stencil problem.  Its ``mode`` is ignored; the sweep spans from
+        the hybrid minimum to register-only.
+    device:
+        Optional target device used for feasibility checks.
+    steps:
+        Number of intermediate points between the two extremes.
+    reserved:
+        Resources already consumed by the kernel / shell, subtracted from the
+        device before the feasibility check.
+    """
+    reserved = reserved or ResourceUsage()
+    plan = config.plan()
+    n_taps = len([o for o in plan.lookup_offsets() if o != 0])
+    depth = plan.stream.depth
+    lo = min(depth, hybrid_register_slots(n_taps))
+    candidates = sorted(
+        {lo, depth} | {lo + round((depth - lo) * i / max(1, steps - 1)) for i in range(steps)}
+    )
+    points = []
+    for regs in candidates:
+        if regs == lo:
+            mode = StreamBufferMode.HYBRID
+        elif regs == depth:
+            mode = StreamBufferMode.REGISTER_ONLY
+        else:
+            mode = StreamBufferMode.CUSTOM
+        partition = partition_stream_buffer(
+            plan.stream, n_taps, mode, register_elements=regs if mode is StreamBufferMode.CUSTOM else None
+        )
+        cfg = replace(config, mode=mode, register_elements=partition.register_elements)
+        points.append(_make_point(cfg, plan, partition, device, reserved))
+    return points
+
+
+def explore_grid_sizes(
+    config: SmacheConfig,
+    sizes: Sequence[Tuple[int, ...]],
+    device: Optional[FPGADevice] = None,
+    mode: StreamBufferMode = StreamBufferMode.HYBRID,
+    reserved: Optional[ResourceUsage] = None,
+) -> List[DesignPoint]:
+    """Price the same stencil problem across different grid sizes."""
+    reserved = reserved or ResourceUsage()
+    points = []
+    for shape in sizes:
+        cfg = replace(
+            config,
+            grid=type(config.grid)(shape=tuple(shape), word_bytes=config.grid.word_bytes),
+            mode=mode,
+            name=f"{config.name}-{'x'.join(str(s) for s in shape)}",
+        )
+        plan = cfg.plan()
+        partition = cfg.partition(plan)
+        points.append(_make_point(cfg, plan, partition, device, reserved))
+    return points
+
+
+def select_best(
+    points: Sequence[DesignPoint],
+    objective: Callable[[DesignPoint], float],
+    require_fit: bool = True,
+) -> Optional[DesignPoint]:
+    """Pick the feasible point minimising ``objective`` (None if none fits)."""
+    candidates = [p for p in points if p.fits] if require_fit else list(points)
+    if not candidates:
+        return None
+    return min(candidates, key=objective)
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """The register-bits / BRAM-bits Pareto front of a sweep.
+
+    A point is kept if no other point is at least as good on both axes and
+    strictly better on one.
+    """
+    front = []
+    for p in points:
+        dominated = False
+        for q in points:
+            if q is p:
+                continue
+            better_or_equal = (
+                q.cost.r_total_bits <= p.cost.r_total_bits
+                and q.cost.b_total_bits <= p.cost.b_total_bits
+            )
+            strictly_better = (
+                q.cost.r_total_bits < p.cost.r_total_bits
+                or q.cost.b_total_bits < p.cost.b_total_bits
+            )
+            if better_or_equal and strictly_better:
+                dominated = True
+                break
+        if not dominated:
+            front.append(p)
+    return front

@@ -1,0 +1,33 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Experiments (see DESIGN.md for the full index):
+
+* ``figure2``  — Smache vs baseline on the 11x11, 4-point-stencil validation
+  case, 100 work-instances (cycle count, Fmax, DRAM traffic, execution time,
+  MOPS, plus the normalised ratios plotted in the paper's bar chart);
+* ``table1``   — estimated vs "actual" on-chip memory for 11x11 / 1024x1024 in
+  register-only and hybrid modes;
+* ``resources``— the in-text ALM / register / BRAM comparison of the two
+  designs (E3) and the 1M-element hybrid-vs-register trade-off (E4);
+* ``ablations``— double-buffering/write-through cost, DRAM random-access
+  penalty sensitivity, and planner-vs-stream-only buffer sizes.
+
+Run ``python -m repro.eval all`` to regenerate everything; each experiment
+prints the paper's value next to the measured one.
+"""
+
+from repro.eval.figure2 import Figure2Result, run_figure2
+from repro.eval.table1 import Table1Result, run_table1
+from repro.eval.resources_exp import ResourceComparison, run_hybrid_tradeoff, run_resources
+from repro.eval.harness import run_all
+
+__all__ = [
+    "Figure2Result",
+    "run_figure2",
+    "Table1Result",
+    "run_table1",
+    "ResourceComparison",
+    "run_resources",
+    "run_hybrid_tradeoff",
+    "run_all",
+]

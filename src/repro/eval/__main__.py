@@ -1,0 +1,49 @@
+"""Command-line entry point: ``python -m repro.eval [experiment ...]``.
+
+Without arguments (or with ``all``) every experiment is regenerated; otherwise
+pass one or more experiment names (``figure2``, ``table1``, ``resources``,
+``hybrid``, ``ablation-writethrough``, ``ablation-dram``, ``ablation-planner``).
+Use ``--output FILE`` to also write the report to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.harness import EXPERIMENTS, run_all
+
+
+def main(argv=None) -> int:
+    """CLI driver; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the paper's tables and figures from the reproduction.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help=f"experiments to run: all (default) or any of {sorted(EXPERIMENTS)}",
+    )
+    parser.add_argument("--output", "-o", help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    names = None
+    if args.experiments and args.experiments != ["all"]:
+        unknown = [n for n in args.experiments if n not in EXPERIMENTS]
+        if unknown:
+            parser.error(f"unknown experiment(s): {unknown}; choose from {sorted(EXPERIMENTS)}")
+        names = args.experiments
+
+    report = run_all(names)
+    text = report.format()
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""Ablation experiments A1-A3.
+
+These go beyond the paper's reported results and probe the design choices the
+paper calls out:
+
+* **A1 — write-through / double buffering**: what does it cost to *not* keep
+  the static buffers warm across work-instances (re-prefetching them from
+  DRAM every instance instead)?
+* **A2 — DRAM random-access penalty**: how do the two designs respond as
+  breaking a burst gets more expensive (the motivation for contiguous
+  streaming)?
+* **A3 — planner benefit**: how much on-chip memory does the stream+static
+  split save compared with a stream-only window sized for the full circular
+  reach, across grid sizes?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.arch.system import BaselineSystem, SmacheSystem
+from repro.core.config import SmacheConfig
+from repro.core.planner import paper_algorithm1, plan_buffers
+from repro.core.ranges import partition_into_ranges
+from repro.memory.dram import DRAMTiming
+from repro.reference.kernels import AveragingKernel
+from repro.reference.stencil_exec import make_test_grid
+from repro.utils.tables import format_table
+
+
+# --------------------------------------------------------------------------- #
+# A1 — write-through / double buffering
+# --------------------------------------------------------------------------- #
+@dataclass
+class WriteThroughAblation:
+    """Cost of disabling the transparent double buffering + write-through."""
+
+    with_write_through: Dict[str, float]
+    without_write_through: Dict[str, float]
+
+    @property
+    def cycle_overhead(self) -> float:
+        """Relative cycle increase when write-through is disabled."""
+        return (
+            self.without_write_through["cycles"] / self.with_write_through["cycles"] - 1.0
+        )
+
+    @property
+    def traffic_overhead(self) -> float:
+        """Relative DRAM-traffic increase when write-through is disabled."""
+        return (
+            self.without_write_through["dram_bytes"] / self.with_write_through["dram_bytes"]
+            - 1.0
+        )
+
+    def format(self) -> str:
+        """Text table of the ablation."""
+        headers = ["variant", "cycles", "DRAM bytes"]
+        body = [
+            [
+                "write-through (paper)",
+                self.with_write_through["cycles"],
+                self.with_write_through["dram_bytes"],
+            ],
+            [
+                "re-prefetch every instance",
+                self.without_write_through["cycles"],
+                self.without_write_through["dram_bytes"],
+            ],
+        ]
+        extra = (
+            f"cycle overhead   : {self.cycle_overhead:+.1%}\n"
+            f"traffic overhead : {self.traffic_overhead:+.1%}"
+        )
+        return format_table(headers, body, title="A1 — write-through ablation") + "\n" + extra
+
+
+def run_write_through_ablation(
+    rows: int = 11, cols: int = 11, iterations: int = 20
+) -> WriteThroughAblation:
+    """Run the Smache system with and without write-through."""
+    config = SmacheConfig.paper_example(rows, cols)
+    kernel = AveragingKernel()
+    grid_in = make_test_grid(config.grid, kind="ramp")
+    results = {}
+    for key, write_through in (("with", True), ("without", False)):
+        system = SmacheSystem(
+            config, kernel=kernel, iterations=iterations, write_through=write_through
+        )
+        system.load_input(grid_in)
+        sim = system.run()
+        results[key] = {"cycles": float(sim.cycles), "dram_bytes": float(sim.dram_bytes)}
+    return WriteThroughAblation(
+        with_write_through=results["with"], without_write_through=results["without"]
+    )
+
+
+# --------------------------------------------------------------------------- #
+# A2 — DRAM random-access penalty sensitivity
+# --------------------------------------------------------------------------- #
+@dataclass
+class DramPenaltyAblation:
+    """Cycles of both designs as the non-contiguous access penalty grows."""
+
+    penalties: List[int] = field(default_factory=list)
+    baseline_cycles: List[int] = field(default_factory=list)
+    smache_cycles: List[int] = field(default_factory=list)
+
+    def slowdown(self, design: str) -> float:
+        """Cycles at the largest penalty divided by cycles at the smallest."""
+        series = self.baseline_cycles if design == "baseline" else self.smache_cycles
+        if not series or series[0] == 0:
+            return 0.0
+        return series[-1] / series[0]
+
+    def format(self) -> str:
+        """Text table of the sweep."""
+        headers = ["penalty (cycles)", "baseline cycles", "smache cycles"]
+        body = [
+            [p, b, s]
+            for p, b, s in zip(self.penalties, self.baseline_cycles, self.smache_cycles)
+        ]
+        extra = (
+            f"baseline slowdown: {self.slowdown('baseline'):.2f}x, "
+            f"smache slowdown: {self.slowdown('smache'):.2f}x"
+        )
+        return format_table(headers, body, title="A2 — DRAM penalty sensitivity") + "\n" + extra
+
+
+def run_dram_penalty_ablation(
+    penalties: Sequence[int] = (0, 2, 4, 8),
+    rows: int = 11,
+    cols: int = 11,
+    iterations: int = 10,
+) -> DramPenaltyAblation:
+    """Sweep the extra cost of non-burst DRAM accesses for both designs."""
+    config = SmacheConfig.paper_example(rows, cols)
+    kernel = AveragingKernel()
+    grid_in = make_test_grid(config.grid, kind="ramp")
+    result = DramPenaltyAblation()
+    for penalty in penalties:
+        timing = DRAMTiming(random_access_cycles=1 + penalty)
+        baseline = BaselineSystem(config, kernel=kernel, iterations=iterations, dram_timing=timing)
+        baseline.load_input(grid_in)
+        smache = SmacheSystem(config, kernel=kernel, iterations=iterations, dram_timing=timing)
+        smache.load_input(grid_in)
+        result.penalties.append(penalty)
+        result.baseline_cycles.append(baseline.run().cycles)
+        result.smache_cycles.append(smache.run().cycles)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# A3 — planner benefit across grid sizes
+# --------------------------------------------------------------------------- #
+@dataclass
+class PlannerAblation:
+    """On-chip buffer elements: stream-only vs Algorithm 1 vs global planner."""
+
+    grid_sizes: List[Tuple[int, int]] = field(default_factory=list)
+    stream_only_elements: List[int] = field(default_factory=list)
+    algorithm1_elements: List[int] = field(default_factory=list)
+    planner_elements: List[int] = field(default_factory=list)
+
+    def saving(self, index: int) -> float:
+        """Planner saving relative to the stream-only window for one grid size."""
+        stream_only = self.stream_only_elements[index]
+        if stream_only == 0:
+            return 0.0
+        return 1.0 - self.planner_elements[index] / stream_only
+
+    def format(self) -> str:
+        """Text table of the comparison."""
+        headers = ["grid", "stream-only", "algorithm 1", "global planner", "saving"]
+        body = []
+        for i, shape in enumerate(self.grid_sizes):
+            body.append(
+                [
+                    f"{shape[0]}x{shape[1]}",
+                    self.stream_only_elements[i],
+                    self.algorithm1_elements[i],
+                    self.planner_elements[i],
+                    f"{self.saving(i):.1%}",
+                ]
+            )
+        return format_table(headers, body, title="A3 — buffer elements by planning strategy")
+
+
+def run_planner_ablation(
+    grid_sizes: Sequence[Tuple[int, int]] = ((11, 11), (64, 64), (256, 256), (1024, 1024)),
+) -> PlannerAblation:
+    """Compare buffer sizes for three planning strategies across grid sizes."""
+    result = PlannerAblation()
+    for shape in grid_sizes:
+        config = SmacheConfig.paper_example(shape[0], shape[1])
+        ranges = partition_into_ranges(config.grid, config.stencil, config.boundary)
+        # Stream-only: a single window wide enough to serve every offset of
+        # every range without static buffers (the full circular span).
+        offsets = [o for r in ranges for o in r.stream_offsets]
+        stream_only = max(offsets) - min(offsets)
+        algo1 = paper_algorithm1(ranges).total_elements
+        plan = plan_buffers(config.grid, config.stencil, config.boundary)
+        result.grid_sizes.append(tuple(shape))
+        result.stream_only_elements.append(stream_only)
+        result.algorithm1_elements.append(algo1)
+        result.planner_elements.append(plan.total_cost_elements)
+    return result

@@ -1,0 +1,91 @@
+"""Run-everything harness.
+
+``run_all()`` regenerates every experiment (Figure 2, Table I, the resource
+comparisons and the three ablations) and returns one text report; the
+``python -m repro.eval`` command line wraps it.  The benchmarks under
+``benchmarks/`` call the same entry points, so the numbers in
+EXPERIMENTS.md, the benchmark output and this harness always agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.eval.ablations import (
+    run_dram_penalty_ablation,
+    run_planner_ablation,
+    run_write_through_ablation,
+)
+from repro.eval.figure2 import run_figure2
+from repro.eval.resources_exp import run_hybrid_tradeoff, run_resources
+from repro.eval.table1 import run_table1
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's formatted output."""
+
+    name: str
+    title: str
+    text: str
+
+
+@dataclass
+class EvaluationReport:
+    """Everything the harness produced, with a single formatted view."""
+
+    records: List[ExperimentRecord] = field(default_factory=list)
+
+    def format(self) -> str:
+        """Concatenate every experiment's output with separators."""
+        blocks = []
+        for record in self.records:
+            header = f"{'=' * 72}\n{record.title}\n{'=' * 72}"
+            blocks.append(f"{header}\n{record.text}")
+        return "\n\n".join(blocks)
+
+    def get(self, name: str) -> Optional[ExperimentRecord]:
+        """Look up one experiment's record by name."""
+        for record in self.records:
+            if record.name == name:
+                return record
+        return None
+
+
+#: Registry of experiments: name -> (title, runner returning a formatted string).
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "figure2": lambda: run_figure2().format(),
+    "table1": lambda: run_table1().format(),
+    "resources": lambda: run_resources().format(),
+    "hybrid": lambda: run_hybrid_tradeoff().format(),
+    "ablation-writethrough": lambda: run_write_through_ablation().format(),
+    "ablation-dram": lambda: run_dram_penalty_ablation().format(),
+    "ablation-planner": lambda: run_planner_ablation().format(),
+}
+
+TITLES: Dict[str, str] = {
+    "figure2": "E1 / Figure 2 — Smache vs baseline (11x11, 4-point stencil, 100 runs)",
+    "table1": "E2 / Table I — estimated vs actual on-chip memory",
+    "resources": "E3 — whole-design resource utilisation (baseline vs Smache)",
+    "hybrid": "E4 — 1M-element register/BRAM trade-off (Case-R vs Case-H)",
+    "ablation-writethrough": "A1 — write-through / double-buffering ablation",
+    "ablation-dram": "A2 — DRAM random-access penalty sensitivity",
+    "ablation-planner": "A3 — planner benefit across grid sizes",
+}
+
+
+def run_experiment(name: str) -> ExperimentRecord:
+    """Run a single experiment by name."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    text = EXPERIMENTS[name]()
+    return ExperimentRecord(name=name, title=TITLES[name], text=text)
+
+
+def run_all(names: Optional[List[str]] = None) -> EvaluationReport:
+    """Run the requested experiments (all of them by default)."""
+    report = EvaluationReport()
+    for name in names or list(EXPERIMENTS):
+        report.records.append(run_experiment(name))
+    return report

@@ -1,0 +1,105 @@
+"""The numbers reported in the paper, used for paper-vs-measured comparisons.
+
+All values are transcribed from the paper's Figure 2, Table I and the prose of
+Section IV.  Keeping them in one module makes the comparison code and the
+EXPERIMENTS.md generation trivially auditable.
+"""
+
+from __future__ import annotations
+
+#: Figure 2 — absolute values behind the normalised bar chart.
+PAPER_FIGURE2 = {
+    "baseline": {
+        "cycle_count": 64001,
+        "freq_mhz": 372.9,
+        "dram_traffic_kib": 236.3,
+        "exec_time_us": 171.6,
+        "mops": 282.01,
+    },
+    "smache": {
+        "cycle_count": 14039,
+        "freq_mhz": 235.3,
+        "dram_traffic_kib": 95.5,
+        "exec_time_us": 59.7,
+        "mops": 811.21,
+    },
+}
+
+#: Figure 2 experiment parameters.
+PAPER_FIGURE2_SETUP = {
+    "rows": 11,
+    "cols": 11,
+    "iterations": 100,
+    "stencil": "4-point",
+    "word_bytes": 4,
+}
+
+#: Table I — estimated and actual on-chip memory utilisation (bits).
+#: Key: (grid, mode) where mode "r" = register-only, "h" = hybrid.
+PAPER_TABLE1 = {
+    ("11x11", "r"): {
+        "estimate": {"Rsc": 0, "Bsc": 1408, "Rsm": 800, "Bsm": 0, "Rtotal": 800, "Btotal": 1408},
+        "actual": {"Rsc": 0, "Bsc": 1536, "Rsm": 928, "Bsm": 0, "Rtotal": 998, "Btotal": 1536},
+    },
+    ("11x11", "h"): {
+        "estimate": {"Rsc": 0, "Bsc": 1408, "Rsm": 352, "Bsm": 448, "Rtotal": 352, "Btotal": 1856},
+        "actual": {"Rsc": 0, "Bsc": 1536, "Rsm": 355, "Bsm": 512, "Rtotal": 425, "Btotal": 2048},
+    },
+    ("1024x1024", "r"): {
+        "estimate": {
+            "Rsc": 0,
+            "Bsc": 131072,
+            "Rsm": 65632,
+            "Bsm": 0,
+            "Rtotal": 65632,
+            "Btotal": 131072,
+        },
+        "actual": {
+            "Rsc": 0,
+            "Bsc": 131200,
+            "Rsm": 65670,
+            "Bsm": 0,
+            "Rtotal": 66857,
+            "Btotal": 131200,
+        },
+    },
+    ("1024x1024", "h"): {
+        "estimate": {
+            "Rsc": 0,
+            "Bsc": 131072,
+            "Rsm": 352,
+            "Bsm": 65280,
+            "Rtotal": 352,
+            "Btotal": 196352,
+        },
+        "actual": {
+            "Rsc": 0,
+            "Bsc": 131200,
+            "Rsm": 362,
+            "Bsm": 65536,
+            "Rtotal": 1549,
+            "Btotal": 196736,
+        },
+    },
+}
+
+#: Section IV prose — whole-design resource utilisation of the two prototypes
+#: (the Smache figures correspond to the 11x11 register-only variant: its
+#: 1.5K BRAM bits are the double-buffered static buffers alone).
+PAPER_RESOURCES = {
+    "baseline": {"alms": 79, "registers": 262, "bram_bits": 0},
+    "smache": {"alms": 520, "registers": 1088, "bram_bits": 1536},
+}
+
+#: Section IV prose — the 1M-element (1024x1024) register/BRAM trade-off.
+PAPER_HYBRID_TRADEOFF = {
+    "register_only": {"registers": 66_000, "bram_bits": 131_000},
+    "hybrid": {"registers": 1_500, "bram_bits": 196_000},
+}
+
+
+def relative_error(measured: float, paper: float) -> float:
+    """Relative error of a measured value against the paper's value."""
+    if paper == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - paper) / abs(paper)

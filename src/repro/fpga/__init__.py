@@ -1,0 +1,32 @@
+"""FPGA device, resource and synthesis models.
+
+The paper reports two kinds of numbers that come from vendor tooling rather
+than from simulation: clock frequency after synthesis (Fig. 2) and resource
+utilisation (Table I "Actual" rows and the in-text ALM/register/BRAM
+comparison).  This package provides the analytical stand-ins:
+
+* :mod:`repro.fpga.device` — a Stratix-V-like device description;
+* :mod:`repro.fpga.resources` — ALM / register / BRAM-bit accounting;
+* :mod:`repro.fpga.synthesis` — a structural resource walker and a
+  critical-path Fmax estimator, calibrated against the paper's reported
+  numbers (see EXPERIMENTS.md for the calibration points and errors).
+"""
+
+from repro.fpga.device import FPGADevice, stratix_v
+from repro.fpga.resources import ResourceUsage
+from repro.fpga.synthesis import (
+    SynthesisReport,
+    TimingModel,
+    synthesize_baseline,
+    synthesize_smache,
+)
+
+__all__ = [
+    "FPGADevice",
+    "stratix_v",
+    "ResourceUsage",
+    "SynthesisReport",
+    "TimingModel",
+    "synthesize_baseline",
+    "synthesize_smache",
+]

@@ -1,0 +1,86 @@
+"""FPGA device descriptions.
+
+The paper synthesises for a Stratix-V device; :func:`stratix_v` provides a
+device of that class.  Device capacities are used by the DSE module to decide
+whether a buffer configuration fits, and by reports to express utilisation as
+a percentage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.fpga.resources import ResourceUsage
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Capacity description of one FPGA device."""
+
+    name: str
+    alms: int
+    registers: int
+    m20k_blocks: int
+    m20k_bits_per_block: int = 20480
+    dsp_blocks: int = 256
+    base_fmax_mhz: float = 450.0
+
+    def __post_init__(self) -> None:
+        check_positive("alms", self.alms)
+        check_positive("registers", self.registers)
+        check_positive("m20k_blocks", self.m20k_blocks)
+        check_positive("m20k_bits_per_block", self.m20k_bits_per_block)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def bram_bits(self) -> int:
+        """Total block-RAM capacity in bits."""
+        return self.m20k_blocks * self.m20k_bits_per_block
+
+    def capacity(self) -> ResourceUsage:
+        """The device's capacity expressed as a :class:`ResourceUsage`."""
+        return ResourceUsage(
+            alms=self.alms,
+            registers=self.registers,
+            bram_bits=self.bram_bits,
+            dsps=self.dsp_blocks,
+        )
+
+    def fits(self, usage: ResourceUsage) -> bool:
+        """True if ``usage`` fits within the device."""
+        return not usage.exceeds(self.capacity())
+
+    def utilisation(self, usage: ResourceUsage) -> Dict[str, float]:
+        """Fractional utilisation per resource class."""
+        return {
+            "alms": usage.alms / self.alms,
+            "registers": usage.registers / self.registers,
+            "bram_bits": usage.bram_bits / self.bram_bits,
+            "dsps": usage.dsps / self.dsp_blocks if self.dsp_blocks else 0.0,
+        }
+
+
+def stratix_v(name: str = "Stratix-V-5SGXA7") -> FPGADevice:
+    """A Stratix-V class device (the family used in the paper's synthesis)."""
+    return FPGADevice(
+        name=name,
+        alms=234_720,
+        registers=938_880,
+        m20k_blocks=2_560,
+        dsp_blocks=256,
+        base_fmax_mhz=450.0,
+    )
+
+
+def small_device(name: str = "small-edge-device") -> FPGADevice:
+    """A deliberately small device used in DSE examples to force trade-offs."""
+    return FPGADevice(
+        name=name,
+        alms=20_000,
+        registers=80_000,
+        m20k_blocks=100,
+        dsp_blocks=32,
+        base_fmax_mhz=350.0,
+    )

@@ -1,0 +1,91 @@
+"""FPGA resource accounting: ALMs, registers, BRAM bits, DSP blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """A bundle of FPGA resources, closed under addition and scaling."""
+
+    alms: float = 0.0
+    registers: float = 0.0
+    bram_bits: float = 0.0
+    dsps: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("alms", self.alms)
+        check_non_negative("registers", self.registers)
+        check_non_negative("bram_bits", self.bram_bits)
+        check_non_negative("dsps", self.dsps)
+
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            alms=self.alms + other.alms,
+            registers=self.registers + other.registers,
+            bram_bits=self.bram_bits + other.bram_bits,
+            dsps=self.dsps + other.dsps,
+        )
+
+    def scaled(self, factor: float) -> "ResourceUsage":
+        """Multiply every resource by ``factor``."""
+        check_non_negative("factor", factor)
+        return ResourceUsage(
+            alms=self.alms * factor,
+            registers=self.registers * factor,
+            bram_bits=self.bram_bits * factor,
+            dsps=self.dsps * factor,
+        )
+
+    def rounded(self) -> "ResourceUsage":
+        """Round every resource up to an integer count."""
+        import math
+
+        return ResourceUsage(
+            alms=math.ceil(self.alms),
+            registers=math.ceil(self.registers),
+            bram_bits=math.ceil(self.bram_bits),
+            dsps=math.ceil(self.dsps),
+        )
+
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (used by reports and tests)."""
+        return {
+            "alms": self.alms,
+            "registers": self.registers,
+            "bram_bits": self.bram_bits,
+            "dsps": self.dsps,
+        }
+
+    def exceeds(self, other: "ResourceUsage") -> bool:
+        """True if any resource of ``self`` is larger than ``other``'s."""
+        return (
+            self.alms > other.alms
+            or self.registers > other.registers
+            or self.bram_bits > other.bram_bits
+            or self.dsps > other.dsps
+        )
+
+    @classmethod
+    def total(cls, parts: Iterable["ResourceUsage"]) -> "ResourceUsage":
+        """Sum an iterable of usages."""
+        acc = cls()
+        for p in parts:
+            acc = acc + p
+        return acc
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "ResourceUsage":
+        """Inverse of :meth:`as_dict` (ignores unknown keys)."""
+        return cls(
+            alms=float(data.get("alms", 0.0)),
+            registers=float(data.get("registers", 0.0)),
+            bram_bits=float(data.get("bram_bits", 0.0)),
+            dsps=float(data.get("dsps", 0.0)),
+        )

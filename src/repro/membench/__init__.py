@@ -1,0 +1,27 @@
+"""MP-Stream-style memory micro-benchmarks for the DRAM model.
+
+The paper motivates Smache with the observation (backed by the authors' own
+MP-Stream benchmark, reference [11]) that stalling a DRAM stream or reverting
+to random accesses costs a large fraction of the sustained bandwidth.  This
+package provides the equivalent measurement for the reproduction's DRAM
+substrate: drive the :class:`repro.memory.dram.DRAMModel` with different
+access patterns (contiguous, strided, random, stencil-gather, mixed
+read/write) and report the sustained words-per-cycle and effective bandwidth
+each pattern achieves.
+
+It serves two purposes: it documents the memory behaviour every simulated
+result in this repository rests on, and it reproduces the *motivation*
+experiment shape — contiguous streaming is the only pattern that sustains the
+full interface rate once non-burst accesses carry a realistic penalty.
+"""
+
+from repro.membench.patterns import AccessPattern, generate_pattern
+from repro.membench.runner import BandwidthResult, measure_pattern, run_membench
+
+__all__ = [
+    "AccessPattern",
+    "generate_pattern",
+    "BandwidthResult",
+    "measure_pattern",
+    "run_membench",
+]

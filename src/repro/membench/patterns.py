@@ -1,0 +1,81 @@
+"""Access-pattern generators for the memory micro-benchmark."""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class AccessPattern(enum.Enum):
+    """The access patterns measured by the benchmark."""
+
+    #: addresses 0, 1, 2, ... (an open burst — the Smache stream)
+    CONTIGUOUS = "contiguous"
+    #: constant stride > 1 (column walks, interleaved arrays)
+    STRIDED = "strided"
+    #: uniformly random addresses (pointer chasing, hash tables)
+    RANDOM = "random"
+    #: the naive stencil gather: for each point, its neighbour addresses
+    #: (the baseline design's read stream)
+    STENCIL_GATHER = "stencil-gather"
+    #: contiguous reads regularly interrupted by writes to a second region
+    #: through the same port (a naive read-modify-write loop)
+    INTERLEAVED_RW = "interleaved-rw"
+
+
+def generate_pattern(
+    pattern: AccessPattern,
+    n_accesses: int,
+    region_words: int,
+    stride: int = 8,
+    row_width: int = 64,
+    seed: int = 0,
+) -> List[int]:
+    """Generate the address trace for one pattern.
+
+    Parameters
+    ----------
+    pattern:
+        Which access pattern to generate.
+    n_accesses:
+        Length of the trace.
+    region_words:
+        Size of the address region the trace stays within.
+    stride:
+        Stride (in words) for the ``STRIDED`` pattern.
+    row_width:
+        Grid row width used by the ``STENCIL_GATHER`` pattern.
+    seed:
+        Seed for the ``RANDOM`` pattern.
+    """
+    check_positive("n_accesses", n_accesses)
+    check_positive("region_words", region_words)
+    if pattern is AccessPattern.CONTIGUOUS:
+        return [i % region_words for i in range(n_accesses)]
+    if pattern is AccessPattern.STRIDED:
+        check_positive("stride", stride)
+        return [(i * stride) % region_words for i in range(n_accesses)]
+    if pattern is AccessPattern.RANDOM:
+        rng = np.random.default_rng(seed)
+        return list(rng.integers(0, region_words, size=n_accesses))
+    if pattern is AccessPattern.STENCIL_GATHER:
+        check_positive("row_width", row_width)
+        trace: List[int] = []
+        point = 0
+        offsets = (-row_width, -1, 1, row_width)
+        while len(trace) < n_accesses:
+            for off in offsets:
+                trace.append((point + off) % region_words)
+                if len(trace) >= n_accesses:
+                    break
+            point = (point + 1) % region_words
+        return trace
+    if pattern is AccessPattern.INTERLEAVED_RW:
+        # handled by the runner (write addresses interleaved with reads); the
+        # read half is contiguous
+        return [i % region_words for i in range(n_accesses)]
+    raise ValueError(f"unhandled pattern {pattern}")  # pragma: no cover

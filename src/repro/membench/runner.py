@@ -1,0 +1,146 @@
+"""Drive the DRAM model with an address trace and measure sustained bandwidth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.membench.patterns import AccessPattern, generate_pattern
+from repro.memory.dram import DRAMCommand, DRAMModel, DRAMTiming
+from repro.sim.engine import Simulator
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class BandwidthResult:
+    """Sustained throughput of one access pattern."""
+
+    pattern: AccessPattern
+    accesses: int
+    cycles: int
+    word_bytes: int
+
+    @property
+    def words_per_cycle(self) -> float:
+        """Sustained words transferred per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.accesses / self.cycles
+
+    def bandwidth_mbps(self, frequency_mhz: float) -> float:
+        """Effective bandwidth in MB/s at the given memory-interface clock."""
+        return self.words_per_cycle * self.word_bytes * frequency_mhz
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of the peak (one word per cycle) the pattern sustains."""
+        return min(1.0, self.words_per_cycle)
+
+
+def measure_pattern(
+    pattern: AccessPattern,
+    n_accesses: int = 4096,
+    region_words: int = 8192,
+    timing: Optional[DRAMTiming] = None,
+    stride: int = 8,
+    row_width: int = 64,
+    seed: int = 0,
+    write_fraction: float = 0.25,
+) -> BandwidthResult:
+    """Measure the sustained rate of one access pattern on the DRAM model."""
+    timing = timing or DRAMTiming(random_access_cycles=4, row_miss_penalty=8, row_words=512)
+    sim = Simulator("membench")
+    dram = DRAMModel(sim, size_words=2 * region_words, timing=timing, shared_bus=True)
+    dram.preload(0, np.arange(region_words))
+
+    trace = generate_pattern(
+        pattern, n_accesses, region_words, stride=stride, row_width=row_width, seed=seed
+    )
+    interleave_writes = pattern is AccessPattern.INTERLEAVED_RW
+    write_every = max(2, int(round(1.0 / write_fraction))) if interleave_writes else 0
+
+    issued = 0
+    completed = 0
+    writes_issued = 0
+    while completed < n_accesses:
+        if issued < n_accesses:
+            if interleave_writes and write_every and issued % write_every == write_every - 1:
+                if dram.write_cmd.can_push():
+                    dram.write_cmd.push(
+                        DRAMCommand(
+                            kind="write",
+                            addr=region_words + (writes_issued % region_words),
+                            data=1.0,
+                        )
+                    )
+                    writes_issued += 1
+            if dram.read_cmd.can_push():
+                dram.read_cmd.push(DRAMCommand(kind="read", addr=int(trace[issued])))
+                issued += 1
+        while dram.read_rsp.can_pop():
+            dram.read_rsp.pop()
+            completed += 1
+        sim.step()
+        if sim.cycle > 200 * n_accesses:
+            raise RuntimeError(f"membench pattern {pattern} did not complete")
+    total_accesses = n_accesses + writes_issued
+    return BandwidthResult(
+        pattern=pattern,
+        accesses=total_accesses,
+        cycles=sim.cycle,
+        word_bytes=dram.word_bytes,
+    )
+
+
+@dataclass
+class MembenchReport:
+    """Results of the full pattern sweep."""
+
+    results: List[BandwidthResult] = field(default_factory=list)
+    frequency_mhz: float = 200.0
+
+    def by_pattern(self) -> Dict[AccessPattern, BandwidthResult]:
+        """Index the results by pattern."""
+        return {r.pattern: r for r in self.results}
+
+    def contiguous_advantage(self) -> float:
+        """Sustained-rate ratio of contiguous streaming over random access."""
+        table = self.by_pattern()
+        random = table.get(AccessPattern.RANDOM)
+        contiguous = table.get(AccessPattern.CONTIGUOUS)
+        if not random or not contiguous or random.words_per_cycle == 0:
+            return 0.0
+        return contiguous.words_per_cycle / random.words_per_cycle
+
+    def format(self) -> str:
+        """Text table of the sweep (the MP-Stream-style view)."""
+        headers = ["pattern", "accesses", "cycles", "words/cycle", "efficiency", "MB/s"]
+        rows = [
+            [
+                r.pattern.value,
+                r.accesses,
+                r.cycles,
+                round(r.words_per_cycle, 3),
+                f"{r.efficiency:.1%}",
+                round(r.bandwidth_mbps(self.frequency_mhz), 1),
+            ]
+            for r in self.results
+        ]
+        return format_table(headers, rows, title="Memory micro-benchmark (MP-Stream style)")
+
+
+def run_membench(
+    patterns: Sequence[AccessPattern] = tuple(AccessPattern),
+    n_accesses: int = 4096,
+    timing: Optional[DRAMTiming] = None,
+    frequency_mhz: float = 200.0,
+) -> MembenchReport:
+    """Measure every requested pattern and return the combined report."""
+    report = MembenchReport(frequency_mhz=frequency_mhz)
+    for pattern in patterns:
+        report.results.append(
+            measure_pattern(pattern, n_accesses=n_accesses, timing=timing)
+        )
+    return report

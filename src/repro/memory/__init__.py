@@ -1,0 +1,22 @@
+"""Memory substrates: DRAM, block RAM and register files.
+
+The DRAM model is the external memory the paper streams from; BRAM and
+register-file models provide FPGA-like port semantics for the on-chip buffers
+so that the architecture models can *demonstrate* (not just assert) that the
+hybrid stream buffer never needs more than one concurrent read per BRAM
+segment.
+"""
+
+from repro.memory.dram import DRAMModel, DRAMTiming, DRAMCommand, DRAMResponse
+from repro.memory.bram import BRAMModel, PortConflictError
+from repro.memory.regfile import RegisterFile
+
+__all__ = [
+    "DRAMModel",
+    "DRAMTiming",
+    "DRAMCommand",
+    "DRAMResponse",
+    "BRAMModel",
+    "PortConflictError",
+    "RegisterFile",
+]

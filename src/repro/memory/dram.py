@@ -1,0 +1,291 @@
+"""Off-chip DRAM model.
+
+The model captures the property the paper's whole argument rests on: DRAM
+delivers one word per cycle as long as accesses are *contiguous* (an open
+burst), while breaking the access pattern costs extra cycles (command
+overhead, and optionally a row-activation penalty used by the sensitivity
+ablation).  It also counts traffic, which is how the paper's Figure 2 "DRAM
+Traffic (KB)" column is produced.
+
+Structure
+---------
+A :class:`DRAMModel` owns the backing storage (a NumPy array of words) and two
+ports:
+
+* a **read port** — commands in, responses out, in order;
+* a **write port** — commands in, completion counted.
+
+With ``shared_bus=True`` both ports are served by a single internal server
+(one transaction at a time, round-robin), which is how the naive baseline
+master drives memory.  With ``shared_bus=False`` (the Smache configuration)
+reads and writes proceed concurrently, modelling independent AXI read/write
+channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+from collections import deque
+
+from repro.sim.channel import Channel
+from repro.sim.engine import Component, Simulator
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Timing parameters of the DRAM model (all in cycles)."""
+
+    #: Cycles per word when the access continues an open burst (sequential).
+    stream_word_cycles: int = 1
+    #: Cycles per access that does not continue a burst (command overhead).
+    random_access_cycles: int = 1
+    #: Pipeline latency from accepting a read to the data appearing.
+    read_latency: int = 4
+    #: Words per DRAM row (only used when ``row_miss_penalty`` > 0).
+    row_words: int = 512
+    #: Extra cycles when an access lands in a different row than the previous
+    #: access on the same port (models row activate/precharge; 0 by default so
+    #: the shipped configuration matches the paper's simulation counting).
+    row_miss_penalty: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("stream_word_cycles", self.stream_word_cycles)
+        check_positive("random_access_cycles", self.random_access_cycles)
+        check_non_negative("read_latency", self.read_latency)
+        check_positive("row_words", self.row_words)
+        check_non_negative("row_miss_penalty", self.row_miss_penalty)
+
+
+@dataclass(frozen=True)
+class DRAMCommand:
+    """One memory command."""
+
+    kind: str  # "read" or "write"
+    addr: int
+    data: float = 0.0
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ValueError(f"unknown DRAM command kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class DRAMResponse:
+    """Read data returned by the DRAM."""
+
+    addr: int
+    data: float
+    tag: int = 0
+
+
+class _Port:
+    """Internal per-port state: burst tracking and a busy countdown."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.busy = 0
+        self.last_addr: Optional[int] = None
+        self.current: Optional[DRAMCommand] = None
+
+    def reset(self) -> None:
+        self.busy = 0
+        self.last_addr = None
+        self.current = None
+
+
+class DRAMModel(Component):
+    """Cycle-level DRAM with burst-aware timing and traffic counters."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "dram",
+        size_words: int = 1 << 20,
+        word_bytes: int = 4,
+        timing: Optional[DRAMTiming] = None,
+        shared_bus: bool = False,
+        read_cmd_capacity: int = 4,
+        response_capacity: int = 8,
+    ) -> None:
+        super().__init__(sim, name)
+        check_positive("size_words", size_words)
+        check_positive("word_bytes", word_bytes)
+        self.size_words = size_words
+        self.word_bytes = word_bytes
+        self.timing = timing or DRAMTiming()
+        self.shared_bus = shared_bus
+
+        self.storage = np.zeros(size_words, dtype=np.float64)
+
+        #: Read commands from the system to the DRAM.
+        self.read_cmd: Channel = self.channel("read_cmd", read_cmd_capacity)
+        #: Read responses, strictly in command order.
+        self.read_rsp: Channel = self.channel("read_rsp", response_capacity)
+        #: Write commands.
+        self.write_cmd: Channel = self.channel("write_cmd", read_cmd_capacity)
+
+        self._read_port = _Port("read")
+        self._write_port = _Port("write")
+        self._inflight_reads: Deque[Tuple[int, DRAMResponse]] = deque()
+
+        # statistics
+        self.words_read = 0
+        self.words_written = 0
+        self.sequential_accesses = 0
+        self.random_accesses = 0
+        self.row_misses = 0
+        self.busy_cycles = 0
+        self.writes_completed = 0
+        self._arbiter_turn = 0  # round-robin pointer for the shared bus
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def preload(self, base: int, values: np.ndarray) -> None:
+        """Write ``values`` directly into the backing store (no cycles, no traffic)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if base < 0 or base + values.size > self.size_words:
+            raise ValueError("preload region outside the DRAM")
+        self.storage[base : base + values.size] = values
+
+    def snapshot(self, base: int, count: int) -> np.ndarray:
+        """Copy ``count`` words starting at ``base`` out of the backing store."""
+        if base < 0 or base + count > self.size_words:
+            raise ValueError("snapshot region outside the DRAM")
+        return self.storage[base : base + count].copy()
+
+    @property
+    def bytes_read(self) -> int:
+        """Total bytes transferred out of the DRAM."""
+        return self.words_read * self.word_bytes
+
+    @property
+    def bytes_written(self) -> int:
+        """Total bytes transferred into the DRAM."""
+        return self.words_written * self.word_bytes
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        """Total bytes moved in either direction."""
+        return self.bytes_read + self.bytes_written
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        self.storage[:] = 0.0
+        self._read_port.reset()
+        self._write_port.reset()
+        self._inflight_reads.clear()
+        self.words_read = 0
+        self.words_written = 0
+        self.sequential_accesses = 0
+        self.random_accesses = 0
+        self.row_misses = 0
+        self.busy_cycles = 0
+        self.writes_completed = 0
+        self._arbiter_turn = 0
+
+    def finished(self) -> bool:
+        return (
+            not self._inflight_reads
+            and self._read_port.busy == 0
+            and self._write_port.busy == 0
+        )
+
+    # ------------------------------------------------------------------ #
+    # timing
+    # ------------------------------------------------------------------ #
+    def _access_cost(self, port: _Port, addr: int) -> int:
+        """Cycles the access occupies the port, with burst/row accounting."""
+        t = self.timing
+        sequential = port.last_addr is not None and addr == port.last_addr + 1
+        if sequential:
+            self.sequential_accesses += 1
+            cost = t.stream_word_cycles
+        else:
+            self.random_accesses += 1
+            cost = t.random_access_cycles
+            if t.row_miss_penalty > 0:
+                prev_row = None if port.last_addr is None else port.last_addr // t.row_words
+                if prev_row is None or addr // t.row_words != prev_row:
+                    self.row_misses += 1
+                    cost += t.row_miss_penalty
+        port.last_addr = addr
+        return cost
+
+    def _start_read(self, cmd: DRAMCommand) -> None:
+        if not (0 <= cmd.addr < self.size_words):
+            raise IndexError(f"DRAM read address {cmd.addr} out of range")
+        cost = self._access_cost(self._read_port, cmd.addr)
+        self._read_port.busy = cost
+        data = float(self.storage[cmd.addr])
+        ready = self.cycle + cost + self.timing.read_latency
+        self._inflight_reads.append((ready, DRAMResponse(addr=cmd.addr, data=data, tag=cmd.tag)))
+        self.words_read += 1
+
+    def _start_write(self, cmd: DRAMCommand) -> None:
+        if not (0 <= cmd.addr < self.size_words):
+            raise IndexError(f"DRAM write address {cmd.addr} out of range")
+        cost = self._access_cost(self._write_port, cmd.addr)
+        self._write_port.busy = cost
+        self.storage[cmd.addr] = cmd.data
+        self.words_written += 1
+        self.writes_completed += 1
+
+    # ------------------------------------------------------------------ #
+    def tick(self) -> None:
+        # Deliver any read data whose latency has elapsed (in order).
+        while (
+            self._inflight_reads
+            and self._inflight_reads[0][0] <= self.cycle
+            and self.read_rsp.can_push()
+        ):
+            _, rsp = self._inflight_reads.popleft()
+            self.read_rsp.push(rsp)
+
+        busy = self._read_port.busy > 0 or self._write_port.busy > 0
+        if busy:
+            self.busy_cycles += 1
+        if self._read_port.busy > 0:
+            self._read_port.busy -= 1
+        if self._write_port.busy > 0:
+            self._write_port.busy -= 1
+
+        if self.shared_bus:
+            self._tick_shared_bus()
+        else:
+            self._tick_split_bus()
+
+    def _response_space_ok(self) -> bool:
+        # Do not accept more reads than the response path can absorb; this
+        # provides the back-pressure ("stall") path of the AXI-style interface.
+        return len(self._inflight_reads) < self.read_rsp.capacity
+
+    def _tick_split_bus(self) -> None:
+        if self._read_port.busy == 0 and self.read_cmd.can_pop() and self._response_space_ok():
+            self._start_read(self.read_cmd.pop())
+        if self._write_port.busy == 0 and self.write_cmd.can_pop():
+            self._start_write(self.write_cmd.pop())
+
+    def _tick_shared_bus(self) -> None:
+        # One transaction at a time across both ports, round-robin between
+        # pending reads and writes so neither side starves.
+        if self._read_port.busy > 0 or self._write_port.busy > 0:
+            return
+        want_read = self.read_cmd.can_pop() and self._response_space_ok()
+        want_write = self.write_cmd.can_pop()
+        if want_read and (not want_write or self._arbiter_turn == 0):
+            cmd = self.read_cmd.pop()
+            self._start_read(cmd)
+            # Both "ports" are the same bus: mirror the busy time.
+            self._write_port.busy = self._read_port.busy
+            self._arbiter_turn = 1
+        elif want_write:
+            cmd = self.write_cmd.pop()
+            self._start_write(cmd)
+            self._read_port.busy = self._write_port.busy
+            self._arbiter_turn = 0

@@ -1,0 +1,84 @@
+"""Register-file (distributed memory) model.
+
+Registers are the other half of the paper's hybrid stream buffer: they can be
+read in parallel (every stencil tap in the same cycle), at the cost of one
+register bit per stored bit.  The model is a plain array with statistics; the
+interesting property compared to :class:`repro.memory.bram.BRAMModel` is the
+*absence* of a port budget.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class RegisterFile:
+    """A multi-ported word array modelling FPGA register storage."""
+
+    def __init__(self, name: str, depth: int, word_bits: int = 32) -> None:
+        check_positive("depth", depth)
+        check_positive("word_bits", word_bits)
+        self.name = name
+        self.depth = depth
+        self.word_bits = word_bits
+        self.storage = np.zeros(depth, dtype=np.float64)
+        self.total_reads = 0
+        self.total_writes = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_bits(self) -> int:
+        """Storage capacity in bits (used by the resource model)."""
+        return self.depth * self.word_bits
+
+    def read(self, addr: int) -> float:
+        """Combinational read (no port budget)."""
+        if not (0 <= addr < self.depth):
+            raise IndexError(f"register file '{self.name}' read address {addr} out of range")
+        self.total_reads += 1
+        return float(self.storage[addr])
+
+    def write(self, addr: int, data: float) -> None:
+        """Clocked write."""
+        if not (0 <= addr < self.depth):
+            raise IndexError(f"register file '{self.name}' write address {addr} out of range")
+        self.total_writes += 1
+        self.storage[addr] = data
+
+    def read_many(self, addrs: List[int]) -> List[float]:
+        """Read several locations in the same cycle (parallel taps)."""
+        return [self.read(a) for a in addrs]
+
+    def shift_in(self, value: float) -> float:
+        """Shift the whole file by one position and insert ``value`` at index 0.
+
+        Returns the value shifted out of the last position.  This is the
+        register-chain behaviour of a window buffer implemented as a shift
+        register.
+        """
+        evicted = float(self.storage[self.depth - 1])
+        if self.depth > 1:
+            self.storage[1:] = self.storage[:-1]
+        self.storage[0] = value
+        self.total_writes += self.depth
+        return evicted
+
+    def fill(self, values) -> None:
+        """Load contents directly (test/configuration helper)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size > self.depth:
+            raise ValueError("fill data larger than the register file")
+        self.storage[: values.size] = values
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        self.storage[:] = 0.0
+        self.total_reads = 0
+        self.total_writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegisterFile({self.name!r}, depth={self.depth}, {self.word_bits}b)"

@@ -1,0 +1,28 @@
+"""NumPy golden models.
+
+These are the functional references the cycle-accurate hardware models are
+validated against: a kernel library (averaging filter, weighted stencils,
+reductions) and an executor that applies a stencil kernel over a grid with
+arbitrary boundary conditions, Jacobi style (all reads from iteration ``k``,
+all writes to iteration ``k+1``), matching the work-instance semantics of the
+Smache architecture.
+"""
+
+from repro.reference.kernels import (
+    AveragingKernel,
+    MaxKernel,
+    StencilKernel,
+    SumKernel,
+    WeightedKernel,
+)
+from repro.reference.stencil_exec import reference_step, reference_run
+
+__all__ = [
+    "StencilKernel",
+    "AveragingKernel",
+    "SumKernel",
+    "MaxKernel",
+    "WeightedKernel",
+    "reference_step",
+    "reference_run",
+]

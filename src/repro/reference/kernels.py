@@ -1,0 +1,160 @@
+"""Stencil kernel library.
+
+A :class:`StencilKernel` is the computation applied to every stencil tuple.
+The same kernel object is used by the NumPy reference executor and by the
+cycle-accurate :class:`repro.arch.kernel.KernelHW`, which guarantees the two
+agree functionally and lets tests compare them bit-for-bit (well,
+float-for-float).
+
+Each kernel also carries the metadata the evaluation needs:
+
+* ``ops_per_point`` — how many arithmetic operations one application counts
+  as (the paper's MOPS figure for the 4-point averaging filter corresponds to
+  4 operations per grid point);
+* ``latency`` — pipeline depth of the hardware implementation in cycles;
+* ``adder_levels`` — depth of the reduction tree, used by the synthesis
+  timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, Tuple
+
+from repro.utils.validation import check_non_negative, check_positive
+
+Offset = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class StencilKernel:
+    """Base class: a per-tuple computation with hardware metadata."""
+
+    name: str = "kernel"
+    ops_per_point: int = 1
+    latency: int = 2
+
+    def apply(self, offsets: Sequence[Offset], values: Sequence[float]) -> float:
+        """Compute the output value for one stencil tuple.
+
+        ``offsets`` and ``values`` are parallel sequences containing only the
+        accesses that exist (open-boundary neighbours are absent; constant
+        boundary values are present with their substituted value).
+        """
+        raise NotImplementedError
+
+    @property
+    def adder_levels(self) -> int:
+        """Depth of the reduction tree (overridden where meaningful)."""
+        return 1
+
+
+@dataclass(frozen=True)
+class AveragingKernel(StencilKernel):
+    """The paper's 4-point averaging filter, generalised to any tuple size.
+
+    The output is the mean of the *available* neighbours, which is the usual
+    way an averaging filter treats open boundaries (corner points average 2
+    or 3 neighbours instead of 4).
+    """
+
+    name: str = "average"
+    ops_per_point: int = 4
+    latency: int = 3
+    expected_points: int = 4
+
+    def apply(self, offsets: Sequence[Offset], values: Sequence[float]) -> float:
+        if not values:
+            return 0.0
+        return float(sum(values)) / len(values)
+
+    @property
+    def adder_levels(self) -> int:
+        n = max(2, self.expected_points)
+        return (n - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class SumKernel(StencilKernel):
+    """Plain sum of the available tuple values."""
+
+    name: str = "sum"
+    ops_per_point: int = 3
+    latency: int = 2
+    expected_points: int = 4
+
+    def apply(self, offsets: Sequence[Offset], values: Sequence[float]) -> float:
+        return float(sum(values))
+
+    @property
+    def adder_levels(self) -> int:
+        n = max(2, self.expected_points)
+        return (n - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class MaxKernel(StencilKernel):
+    """Maximum of the available tuple values (morphological dilation)."""
+
+    name: str = "max"
+    ops_per_point: int = 3
+    latency: int = 2
+
+    def apply(self, offsets: Sequence[Offset], values: Sequence[float]) -> float:
+        if not values:
+            return 0.0
+        return float(max(values))
+
+
+@dataclass(frozen=True)
+class WeightedKernel(StencilKernel):
+    """A weighted stencil: ``out = bias + sum_i w(offset_i) * value_i``.
+
+    Missing (open-boundary) neighbours simply contribute nothing, which for a
+    diffusion-style operator corresponds to a zero-flux edge.
+    """
+
+    name: str = "weighted"
+    weights: Mapping[Offset, float] = field(default_factory=dict)
+    bias: float = 0.0
+    ops_per_point: int = 0  # recomputed in __post_init__ when left at 0
+    latency: int = 4
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "weights", dict(self.weights))
+        if not self.weights:
+            raise ValueError("WeightedKernel needs at least one weight")
+        if self.ops_per_point == 0:
+            # one multiply + one add per tap
+            object.__setattr__(self, "ops_per_point", 2 * len(self.weights))
+
+    def apply(self, offsets: Sequence[Offset], values: Sequence[float]) -> float:
+        acc = self.bias
+        for off, val in zip(offsets, values):
+            w = self.weights.get(tuple(off))
+            if w is not None:
+                acc += w * val
+        return float(acc)
+
+    @property
+    def adder_levels(self) -> int:
+        n = max(2, len(self.weights))
+        return (n - 1).bit_length() + 1  # +1 for the multiplier stage
+
+    @classmethod
+    def jacobi_2d(cls, alpha: float = 0.25) -> "WeightedKernel":
+        """Jacobi relaxation: the average of the four neighbours, scaled."""
+        w = {(-1, 0): alpha, (1, 0): alpha, (0, -1): alpha, (0, 1): alpha}
+        return cls(name="jacobi", weights=w)
+
+    @classmethod
+    def diffusion_2d(cls, nu: float = 0.1) -> "WeightedKernel":
+        """Explicit heat-diffusion step: ``u + nu * laplacian(u)``."""
+        w = {
+            (0, 0): 1.0 - 4.0 * nu,
+            (-1, 0): nu,
+            (1, 0): nu,
+            (0, -1): nu,
+            (0, 1): nu,
+        }
+        return cls(name="diffusion", weights=w)

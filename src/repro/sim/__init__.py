@@ -1,0 +1,34 @@
+"""Cycle-accurate simulation engine.
+
+This is the substrate on which the hardware models in :mod:`repro.arch` and
+:mod:`repro.memory` are built.  It provides:
+
+* :class:`~repro.sim.engine.Simulator` — a clock-driven scheduler that ticks
+  every registered component once per cycle and then commits all channels,
+  so results are independent of component registration order;
+* :class:`~repro.sim.engine.Component` — base class for clocked hardware
+  blocks;
+* :class:`~repro.sim.channel.Channel` — a two-phase (stage/commit) FIFO used
+  for all inter-component communication, modelling registered valid/ready
+  links (one cycle of latency per hop, full throughput with capacity >= 2);
+* :class:`~repro.sim.fsm.FSM` — a small finite-state-machine helper with
+  occupancy statistics;
+* :class:`~repro.sim.stats.StatsCollector` and
+  :class:`~repro.sim.trace.TraceLog` — counters and event tracing.
+"""
+
+from repro.sim.channel import Channel
+from repro.sim.engine import Component, Simulator, SimulationError
+from repro.sim.fsm import FSM
+from repro.sim.stats import StatsCollector
+from repro.sim.trace import TraceLog
+
+__all__ = [
+    "Channel",
+    "Component",
+    "Simulator",
+    "SimulationError",
+    "FSM",
+    "StatsCollector",
+    "TraceLog",
+]

@@ -1,0 +1,186 @@
+"""Two-phase FIFO channels: the wiring of the simulated hardware.
+
+A :class:`Channel` models a registered point-to-point link (an AXI4-Stream
+style valid/ready connection with a skid buffer).  Pushes performed during a
+cycle become visible to the consumer only on the *next* cycle, which makes
+simulation results independent of the order in which components are ticked.
+
+Throughput: because a push performed in cycle ``n`` frees no space until the
+commit at the end of cycle ``n``, a channel needs ``capacity >= 2`` to sustain
+one transfer per cycle (exactly like a two-entry skid buffer in RTL).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterable, List, Optional
+
+from repro.utils.validation import check_positive
+
+
+class Channel:
+    """A registered FIFO link between two components."""
+
+    def __init__(self, name: str, capacity: int = 2) -> None:
+        check_positive("capacity", capacity)
+        self.name = name
+        self.capacity = capacity
+        self._queue: Deque[Any] = deque()
+        self._staged_pushes: List[Any] = []
+        self._staged_pops = 0
+        # statistics
+        self.total_pushes = 0
+        self.total_pops = 0
+        self.push_stall_cycles = 0
+        self.pop_stall_cycles = 0
+        self.max_occupancy = 0
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+    def can_push(self, n: int = 1) -> bool:
+        """True if ``n`` more items can be staged this cycle.
+
+        Space freed by pops staged in the same cycle does *not* count: the
+        producer sees the occupancy as it was at the last clock edge.
+        """
+        return len(self._queue) + len(self._staged_pushes) + n <= self.capacity
+
+    def push(self, item: Any) -> None:
+        """Stage one item for delivery at the end of the current cycle."""
+        if not self.can_push():
+            raise SimulationChannelError(
+                f"push on full channel '{self.name}' "
+                f"(capacity {self.capacity}); call can_push() first"
+            )
+        self._staged_pushes.append(item)
+        self.total_pushes += 1
+
+    def note_push_stall(self) -> None:
+        """Record that the producer had data but the channel was full."""
+        self.push_stall_cycles += 1
+
+    # ------------------------------------------------------------------ #
+    # consumer side
+    # ------------------------------------------------------------------ #
+    def can_pop(self, n: int = 1) -> bool:
+        """True if ``n`` items are available to pop this cycle."""
+        return len(self._queue) - self._staged_pops >= n
+
+    def peek(self, offset: int = 0) -> Any:
+        """Look at an available item without consuming it."""
+        idx = self._staged_pops + offset
+        if idx >= len(self._queue):
+            raise SimulationChannelError(f"peek past the end of channel '{self.name}'")
+        return self._queue[idx]
+
+    def pop(self) -> Any:
+        """Consume one item (the removal is applied at the end of the cycle)."""
+        if not self.can_pop():
+            raise SimulationChannelError(
+                f"pop on empty channel '{self.name}'; call can_pop() first"
+            )
+        item = self._queue[self._staged_pops]
+        self._staged_pops += 1
+        self.total_pops += 1
+        return item
+
+    def note_pop_stall(self) -> None:
+        """Record that the consumer was ready but the channel was empty."""
+        self.pop_stall_cycles += 1
+
+    # ------------------------------------------------------------------ #
+    # simulator interface
+    # ------------------------------------------------------------------ #
+    def commit(self) -> None:
+        """Apply the cycle's staged pops and pushes (called by the simulator)."""
+        for _ in range(self._staged_pops):
+            self._queue.popleft()
+        self._staged_pops = 0
+        self._queue.extend(self._staged_pushes)
+        self._staged_pushes.clear()
+        if len(self._queue) > self.max_occupancy:
+            self.max_occupancy = len(self._queue)
+        if len(self._queue) > self.capacity:
+            raise SimulationChannelError(
+                f"channel '{self.name}' exceeded its capacity after commit"
+            )
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        self._queue.clear()
+        self._staged_pushes.clear()
+        self._staged_pops = 0
+        self.total_pushes = 0
+        self.total_pops = 0
+        self.push_stall_cycles = 0
+        self.pop_stall_cycles = 0
+        self.max_occupancy = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def occupancy(self) -> int:
+        """Number of committed items currently in the channel."""
+        return len(self._queue)
+
+    @property
+    def is_idle(self) -> bool:
+        """True when the channel holds no committed or staged items."""
+        return not self._queue and not self._staged_pushes
+
+    def drain(self) -> List[Any]:
+        """Pop everything currently available (test helper)."""
+        out = []
+        while self.can_pop():
+            out.append(self.pop())
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Channel({self.name!r}, {len(self._queue)}/{self.capacity})"
+
+
+class Wire:
+    """A registered single-value signal (level, not a queue).
+
+    Writes become visible at the next cycle; reads always return the value
+    latched at the previous clock edge.  Used for stall/valid side-band
+    signals where a FIFO would be overkill.
+    """
+
+    def __init__(self, name: str, initial: Any = 0) -> None:
+        self.name = name
+        self._initial = initial
+        self._current = initial
+        self._next: Optional[Any] = None
+
+    def get(self) -> Any:
+        """Value latched at the previous clock edge."""
+        return self._current
+
+    def set(self, value: Any) -> None:
+        """Schedule a new value for the next clock edge."""
+        self._next = value
+
+    def commit(self) -> None:
+        """Latch the scheduled value (called by the simulator)."""
+        if self._next is not None:
+            self._current = self._next
+            self._next = None
+
+    def reset(self) -> None:
+        """Return to the initial value."""
+        self._current = self._initial
+        self._next = None
+
+
+class SimulationChannelError(RuntimeError):
+    """Protocol violation on a channel (push-when-full / pop-when-empty)."""
+
+
+def connect_all(channels: Iterable[Channel]) -> None:
+    """Reset a collection of channels (helper used by system builders)."""
+    for ch in channels:
+        ch.reset()

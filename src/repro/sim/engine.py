@@ -1,0 +1,195 @@
+"""The clock-driven simulation kernel.
+
+Every hardware block is a :class:`Component`; the :class:`Simulator` owns the
+clock.  Each cycle has two phases:
+
+1. **tick** — every component's :meth:`Component.tick` runs exactly once.  A
+   component reads the *committed* state of its input channels/wires and
+   stages pushes/pops/writes.
+2. **commit** — every channel and wire latches its staged updates.
+
+Because a component never observes another component's same-cycle writes, the
+result of a simulation does not depend on the order in which components were
+registered, exactly like synchronous RTL.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.channel import Channel, Wire
+from repro.utils.validation import check_positive
+
+
+class SimulationError(RuntimeError):
+    """Raised for protocol violations or runaway simulations."""
+
+
+class Component:
+    """Base class for clocked hardware blocks.
+
+    Subclasses implement :meth:`tick` (mandatory) and may override
+    :meth:`reset` (call ``super().reset()``) and :meth:`finished`.
+    """
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        self.sim = sim
+        self.name = name
+        sim.register_component(self)
+
+    # ------------------------------------------------------------------ #
+    def channel(self, suffix: str, capacity: int = 2) -> Channel:
+        """Create a channel owned by (named after) this component."""
+        return self.sim.create_channel(f"{self.name}.{suffix}", capacity)
+
+    def wire(self, suffix: str, initial=0) -> Wire:
+        """Create a wire owned by this component."""
+        return self.sim.create_wire(f"{self.name}.{suffix}", initial)
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Return the component to its power-on state."""
+
+    def tick(self) -> None:
+        """Advance one clock cycle (must be overridden)."""
+        raise NotImplementedError
+
+    def finished(self) -> bool:
+        """True when the component has no more work to do (used by run_until_idle)."""
+        return True
+
+    @property
+    def cycle(self) -> int:
+        """The current cycle number."""
+        return self.sim.cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Simulator:
+    """Owns the clock, the components and the channels."""
+
+    def __init__(self, name: str = "sim") -> None:
+        self.name = name
+        self.cycle = 0
+        self._components: List[Component] = []
+        self._channels: Dict[str, Channel] = {}
+        self._wires: Dict[str, Wire] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def register_component(self, component: Component) -> None:
+        """Add a component to the tick list (called by Component.__init__)."""
+        self._components.append(component)
+
+    def create_channel(self, name: str, capacity: int = 2) -> Channel:
+        """Create and register a channel."""
+        if name in self._channels:
+            raise SimulationError(f"duplicate channel name {name!r}")
+        ch = Channel(name, capacity)
+        self._channels[name] = ch
+        return ch
+
+    def create_wire(self, name: str, initial=0) -> Wire:
+        """Create and register a wire."""
+        if name in self._wires:
+            raise SimulationError(f"duplicate wire name {name!r}")
+        w = Wire(name, initial)
+        self._wires[name] = w
+        return w
+
+    @property
+    def components(self) -> List[Component]:
+        """The registered components, in registration order."""
+        return list(self._components)
+
+    @property
+    def channels(self) -> Dict[str, Channel]:
+        """All channels by name."""
+        return dict(self._channels)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Reset the clock, all components, channels and wires."""
+        self.cycle = 0
+        for comp in self._components:
+            comp.reset()
+        for ch in self._channels.values():
+            ch.reset()
+        for w in self._wires.values():
+            w.reset()
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the simulation by ``cycles`` clock cycles."""
+        check_positive("cycles", cycles)
+        for _ in range(cycles):
+            for comp in self._components:
+                comp.tick()
+            for ch in self._channels.values():
+                ch.commit()
+            for w in self._wires.values():
+                w.commit()
+            self.cycle += 1
+
+    def run_until(
+        self,
+        condition: Callable[[], bool],
+        max_cycles: int = 10_000_000,
+        check_every: int = 1,
+    ) -> int:
+        """Run until ``condition()`` is true; returns the cycle count.
+
+        Raises :class:`SimulationError` if the condition is not met within
+        ``max_cycles`` (runaway / deadlock protection).
+        """
+        check_positive("max_cycles", max_cycles)
+        while not condition():
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"simulation '{self.name}' exceeded {max_cycles} cycles "
+                    "without meeting its termination condition"
+                )
+            self.step(check_every)
+        return self.cycle
+
+    def run_until_idle(self, max_cycles: int = 10_000_000, settle: int = 4) -> int:
+        """Run until every component reports finished and channels are empty.
+
+        ``settle`` extra cycles are required to be idle consecutively before
+        stopping, so that single-cycle bubbles do not end the run early.
+        """
+        idle_streak = 0
+
+        def all_idle() -> bool:
+            if not all(c.finished() for c in self._components):
+                return False
+            return all(ch.is_idle for ch in self._channels.values())
+
+        while idle_streak < settle:
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"simulation '{self.name}' exceeded {max_cycles} cycles without idling"
+                )
+            self.step(1)
+            idle_streak = idle_streak + 1 if all_idle() else 0
+        return self.cycle
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def channel_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-channel transfer and stall statistics."""
+        return {
+            name: {
+                "pushes": ch.total_pushes,
+                "pops": ch.total_pops,
+                "push_stalls": ch.push_stall_cycles,
+                "pop_stalls": ch.pop_stall_cycles,
+                "max_occupancy": ch.max_occupancy,
+            }
+            for name, ch in self._channels.items()
+        }

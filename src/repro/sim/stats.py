@@ -1,0 +1,57 @@
+"""Named counters and simple histograms for simulation statistics."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Mapping
+
+
+class StatsCollector:
+    """A bag of named counters shared by the components of one system."""
+
+    def __init__(self, name: str = "stats") -> None:
+        self.name = name
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._histograms: Dict[str, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+
+    # ------------------------------------------------------------------ #
+    def incr(self, key: str, amount: float = 1) -> None:
+        """Increment counter ``key`` by ``amount``."""
+        self._counters[key] += amount
+
+    def set(self, key: str, value: float) -> None:
+        """Set counter ``key`` to ``value``."""
+        self._counters[key] = value
+
+    def get(self, key: str, default: float = 0) -> float:
+        """Read counter ``key`` (0 if never written)."""
+        return self._counters.get(key, default)
+
+    def observe(self, key: str, value: int) -> None:
+        """Add an observation to histogram ``key``."""
+        self._histograms[key][value] += 1
+
+    def histogram(self, key: str) -> Mapping[int, int]:
+        """Return histogram ``key`` as a value -> count mapping."""
+        return dict(self._histograms.get(key, {}))
+
+    # ------------------------------------------------------------------ #
+    def counters(self) -> Dict[str, float]:
+        """All counters as a plain dict."""
+        return dict(self._counters)
+
+    def reset(self) -> None:
+        """Clear all counters and histograms."""
+        self._counters.clear()
+        self._histograms.clear()
+
+    def merge(self, other: "StatsCollector") -> None:
+        """Add another collector's counters into this one."""
+        for key, value in other.counters().items():
+            self._counters[key] += value
+        for key, hist in other._histograms.items():
+            for value, count in hist.items():
+                self._histograms[key][value] += count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatsCollector({self.name!r}, {len(self._counters)} counters)"

@@ -1,0 +1,97 @@
+"""Lightweight event tracing for the simulated hardware.
+
+A :class:`TraceLog` records ``(cycle, source, event, payload)`` tuples.  It is
+disabled by default (tracing every cycle of a hundred work-instances would be
+slow and unnecessary); tests and the examples enable it to inspect controller
+behaviour, warm-up sequencing and buffer swaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    cycle: int
+    source: str
+    event: str
+    payload: Any = None
+
+
+class TraceLog:
+    """An append-only event log with simple query helpers."""
+
+    def __init__(self, enabled: bool = True, max_events: int = 1_000_000) -> None:
+        self.enabled = enabled
+        self.max_events = max_events
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------ #
+    def record(self, cycle: int, source: str, event: str, payload: Any = None) -> None:
+        """Record one event (no-op when disabled or full)."""
+        if not self.enabled:
+            return
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(cycle=cycle, source=source, event=event, payload=payload))
+
+    # ------------------------------------------------------------------ #
+    def events(
+        self,
+        source: Optional[str] = None,
+        event: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Filtered view of the recorded events."""
+        out = []
+        for e in self._events:
+            if source is not None and e.source != source:
+                continue
+            if event is not None and e.event != event:
+                continue
+            if predicate is not None and not predicate(e):
+                continue
+            out.append(e)
+        return out
+
+    def first(self, event: str) -> Optional[TraceEvent]:
+        """The first event with the given name, if any."""
+        for e in self._events:
+            if e.event == event:
+                return e
+        return None
+
+    def count(self, event: str) -> int:
+        """Number of events with the given name."""
+        return sum(1 for e in self._events if e.event == event)
+
+    def cycles_of(self, event: str) -> List[int]:
+        """Cycle numbers of every occurrence of ``event``."""
+        return [e.cycle for e in self._events if e.event == event]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterable[TraceEvent]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+        self.dropped = 0
+
+    def format(self, limit: int = 100) -> str:
+        """Human-readable dump of (up to ``limit``) events."""
+        lines = []
+        for e in self._events[:limit]:
+            payload = "" if e.payload is None else f" {e.payload!r}"
+            lines.append(f"[{e.cycle:>8}] {e.source:<24} {e.event}{payload}")
+        if len(self._events) > limit:
+            lines.append(f"... ({len(self._events) - limit} more events)")
+        return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Small shared utilities: unit conversions, validation helpers, table formatting."""
+
+from repro.utils.units import bits_to_bytes, bytes_to_kib, kib, mib, Quantity
+from repro.utils.validation import check_positive, check_non_negative, check_in_range
+from repro.utils.tables import format_table
+
+__all__ = [
+    "bits_to_bytes",
+    "bytes_to_kib",
+    "kib",
+    "mib",
+    "Quantity",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "format_table",
+]

@@ -1,0 +1,58 @@
+"""Plain-text table formatting for the evaluation harness.
+
+The experiment harness prints rows in the same layout as the paper's Figure 2
+and Table I; this module holds the shared formatting code.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(headers))
+    lines.append(render_row(["-" * w for w in widths]))
+    for row in cells:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_key_values(pairs: Mapping[str, object], indent: int = 2) -> str:
+    """Render a mapping as aligned ``key : value`` lines."""
+    if not pairs:
+        return ""
+    width = max(len(str(k)) for k in pairs)
+    pad = " " * indent
+    return "\n".join(f"{pad}{str(k).ljust(width)} : {_format_cell(v)}" for k, v in pairs.items())

@@ -1,0 +1,61 @@
+"""Unit helpers used throughout the package.
+
+The paper reports DRAM traffic in "KB" which, from the arithmetic in the
+evaluation section (242000 bytes reported as 236.3 KB), is binary KiB.  All
+conversions in this module are explicit about the base to avoid ambiguity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def bits_to_bytes(bits: int) -> float:
+    """Convert a bit count to bytes (may be fractional for non-multiples of 8)."""
+    return bits / 8.0
+
+
+def bytes_to_kib(nbytes: float) -> float:
+    """Convert bytes to binary kibibytes (the paper's "KB")."""
+    return nbytes / 1024.0
+
+
+def kib(n: float) -> int:
+    """Return ``n`` KiB expressed in bytes."""
+    return int(n * 1024)
+
+
+def mib(n: float) -> int:
+    """Return ``n`` MiB expressed in bytes."""
+    return int(n * 1024 * 1024)
+
+
+def mhz(hz: float) -> float:
+    """Convert a frequency in Hz to MHz."""
+    return hz / 1e6
+
+
+def microseconds(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * 1e6
+
+
+@dataclass(frozen=True)
+class Quantity:
+    """A value with a unit label, used in report formatting.
+
+    This is intentionally lightweight; it exists so that evaluation tables can
+    carry their units alongside the numbers without resorting to string
+    concatenation at every call site.
+    """
+
+    value: float
+    unit: str
+
+    def __format__(self, spec: str) -> str:
+        if not spec:
+            spec = ".4g"
+        return f"{format(self.value, spec)} {self.unit}"
+
+    def __str__(self) -> str:
+        return format(self)

@@ -1,0 +1,47 @@
+"""Argument validation helpers.
+
+These raise ``ValueError`` with a consistent message format so that tests can
+assert on invalid-configuration behaviour across the package.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def check_shape(name: str, shape: Sequence[int], min_dims: int = 1, max_dims: int = 4) -> None:
+    """Validate a grid shape: a non-empty sequence of positive integers."""
+    if len(shape) < min_dims or len(shape) > max_dims:
+        raise ValueError(
+            f"{name} must have between {min_dims} and {max_dims} dimensions, got {len(shape)}"
+        )
+    for i, extent in enumerate(shape):
+        if int(extent) != extent or extent <= 0:
+            raise ValueError(f"{name}[{i}] must be a positive integer, got {extent!r}")
+
+
+def check_unique(name: str, items: Iterable) -> None:
+    """Raise ``ValueError`` if ``items`` contains duplicates."""
+    seen = set()
+    for item in items:
+        if item in seen:
+            raise ValueError(f"{name} contains duplicate entry {item!r}")
+        seen.add(item)

@@ -1,0 +1,221 @@
+"""Tests for the Smache building blocks: window buffer, static buffers, kernel HW."""
+
+import numpy as np
+import pytest
+
+from repro.arch.access_table import AccessTable
+from repro.arch.kernel import KernelHW, TupleData
+from repro.arch.static_buffer import StaticBufferError, StaticBufferHW
+from repro.arch.stream_buffer import WindowBuffer, WindowReadError
+from repro.core.boundary import BoundarySpec
+from repro.core.buffers import StaticBufferSpec, StreamBufferSpec
+from repro.core.grid import GridSpec
+from repro.core.stencil import StencilShape
+from repro.reference.kernels import AveragingKernel
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def window_spec():
+    return StreamBufferSpec(reach=22, window_lo=-11, window_hi=11, word_bits=32)
+
+
+class TestWindowBuffer:
+    def test_push_and_read_back(self, window_spec):
+        w = WindowBuffer(window_spec, tap_offsets=[-11, -1, 1, 11])
+        for i in range(20):
+            w.push(i, float(i * 10), cycle=i)
+        assert w.head == 19
+        assert w.read(19, cycle=20) == 190.0
+        assert w.read(19 - 22, cycle=20) == 0.0 if w.covers(-3) else True
+
+    def test_out_of_order_push_rejected(self, window_spec):
+        w = WindowBuffer(window_spec)
+        w.push(0, 1.0, cycle=0)
+        with pytest.raises(WindowReadError):
+            w.push(2, 2.0, cycle=1)
+
+    def test_read_outside_coverage_rejected(self, window_spec):
+        w = WindowBuffer(window_spec)
+        for i in range(30):
+            w.push(i, float(i), cycle=i)
+        # element 0 has been evicted (depth 25)
+        assert not w.covers(0)
+        with pytest.raises(WindowReadError):
+            w.read(0, cycle=31)
+
+    def test_coverage_is_depth_elements(self, window_spec):
+        w = WindowBuffer(window_spec)
+        for i in range(40):
+            w.push(i, float(i), cycle=i)
+        assert w.covers(40 - 25)
+        assert not w.covers(40 - 26)
+        assert w.fill_count() == 25
+
+    def test_centre_tracks_lookahead(self, window_spec):
+        w = WindowBuffer(window_spec)
+        for i in range(15):
+            w.push(i, float(i), cycle=i)
+        assert w.centre == 14 - 11
+
+    def test_tap_positions_become_registers(self, window_spec):
+        w = WindowBuffer(window_spec, tap_offsets=[-11, -1, 1, 11])
+        # positions window_hi - o for each tap
+        for o in (-11, -1, 1, 11):
+            assert 11 - o in w.register_positions
+
+    def test_aligned_tap_reads_hit_registers_only(self, window_spec):
+        w = WindowBuffer(window_spec, tap_offsets=[-11, -1, 1, 11])
+        for i in range(60):
+            w.push(i, float(i), cycle=i)
+            centre = w.centre
+            if centre >= 12:  # interior: all taps resolvable
+                for o in (-11, -1, 1, 11):
+                    w.read(centre + o, cycle=i)
+        assert w.max_bram_reads_per_cycle == 0
+        assert w.port_report()["register_reads"] > 0
+
+    def test_reset(self, window_spec):
+        w = WindowBuffer(window_spec)
+        w.push(0, 1.0, cycle=0)
+        w.reset()
+        assert w.head == -1
+        assert w.fill_count() == 0
+
+
+class TestStaticBufferHW:
+    @pytest.fixture
+    def spec(self):
+        return StaticBufferSpec(name="row10", start=110, length=11, word_bits=32)
+
+    def test_prefetch_then_read(self, spec):
+        buf = StaticBufferHW(spec)
+        for i in range(11):
+            buf.prefetch_word(float(i))
+        assert buf.prefetch_complete
+        assert buf.read(110) == 0.0
+        assert buf.read(120) == 10.0
+
+    def test_prefetch_overflow_rejected(self, spec):
+        buf = StaticBufferHW(spec)
+        for i in range(11):
+            buf.prefetch_word(0.0)
+        with pytest.raises(StaticBufferError):
+            buf.prefetch_word(0.0)
+
+    def test_read_outside_coverage_rejected(self, spec):
+        buf = StaticBufferHW(spec)
+        with pytest.raises(StaticBufferError):
+            buf.read(5)
+
+    def test_write_through_goes_to_write_bank_until_swap(self, spec):
+        buf = StaticBufferHW(spec)
+        buf.load_read_bank(np.arange(11))
+        assert buf.capture(115, 99.0)
+        # read bank unchanged until the swap
+        assert buf.read(115) == 5.0
+        buf.swap()
+        assert buf.read(115) == 99.0
+
+    def test_capture_outside_coverage_is_ignored(self, spec):
+        buf = StaticBufferHW(spec)
+        assert not buf.capture(3, 1.0)
+        assert buf.writes == 0
+
+    def test_single_buffered_capture_is_visible_immediately_after_swap(self):
+        spec = StaticBufferSpec(
+            name="b", start=0, length=4, word_bits=32, double_buffered=False
+        )
+        buf = StaticBufferHW(spec)
+        buf.load_read_bank([1, 2, 3, 4])
+        buf.capture(2, 9.0)
+        buf.swap()  # no bank change for single-buffered
+        assert buf.read(2) == 9.0
+
+    def test_load_read_bank_validates_length(self, spec):
+        buf = StaticBufferHW(spec)
+        with pytest.raises(StaticBufferError):
+            buf.load_read_bank([1.0, 2.0])
+
+    def test_reset(self, spec):
+        buf = StaticBufferHW(spec)
+        buf.load_read_bank(np.arange(11))
+        buf.capture(115, 1.0)
+        buf.swap()
+        buf.reset()
+        assert buf.read(110) == 0.0
+        assert buf.swaps == 0
+        assert not buf.prefetch_complete
+
+    def test_begin_prefetch_allows_reload(self, spec):
+        buf = StaticBufferHW(spec)
+        buf.load_read_bank(np.arange(11))
+        buf.begin_prefetch()
+        assert not buf.prefetch_complete
+        for i in range(11):
+            buf.prefetch_word(float(i + 100))
+        assert buf.read(110) == 100.0
+
+
+class TestKernelHW:
+    def test_processes_tuples_with_latency(self):
+        sim = Simulator()
+        kernel = KernelHW(sim, AveragingKernel())
+        kernel.tuple_in.push(TupleData(index=0, offsets=((0, 1), (1, 0)), values=(2.0, 4.0)))
+        sim.run_until(lambda: kernel.result_out.can_pop(), max_cycles=20)
+        result = kernel.result_out.pop()
+        assert result.index == 0
+        assert result.value == 3.0
+        assert sim.cycle >= AveragingKernel().latency
+
+    def test_sustains_one_tuple_per_cycle(self):
+        sim = Simulator()
+        kernel = KernelHW(sim, AveragingKernel())
+        results = []
+        pushed = 0
+        while len(results) < 40:
+            if pushed < 40 and kernel.tuple_in.can_push():
+                kernel.tuple_in.push(TupleData(index=pushed, offsets=((0, 1),), values=(1.0,)))
+                pushed += 1
+            if kernel.result_out.can_pop():
+                results.append(kernel.result_out.pop())
+            sim.step()
+            assert sim.cycle < 200
+        assert [r.index for r in results] == list(range(40))
+        assert sim.cycle <= 40 + 10
+
+    def test_counts_operations(self):
+        sim = Simulator()
+        kernel = KernelHW(sim, AveragingKernel())
+        for i in range(3):
+            kernel.tuple_in.push(TupleData(index=i, offsets=((0, 1),), values=(1.0,)))
+            sim.step(2)
+        sim.step(10)
+        assert kernel.tuples_processed == 3
+        assert kernel.operations == 12
+
+
+class TestAccessTable:
+    def test_table_covers_every_position(self, paper_config):
+        table = AccessTable(paper_config.grid, paper_config.stencil, paper_config.boundary)
+        assert len(table) == 121
+        assert table.max_operands() == 4
+
+    def test_total_reads_matches_histogram(self, paper_config):
+        table = AccessTable(paper_config.grid, paper_config.stencil, paper_config.boundary)
+        # interior 81*4 + edges 4*9*4(top/bottom have 4, left/right have 3)...
+        # cross-check against direct resolution
+        from repro.core.access import stream_tuples
+
+        expected = sum(
+            t.n_existing
+            for t in stream_tuples(paper_config.grid, paper_config.stencil, paper_config.boundary)
+        )
+        assert table.total_element_reads() == expected
+
+    def test_corner_entry(self, paper_config):
+        table = AccessTable(paper_config.grid, paper_config.stencil, paper_config.boundary)
+        corner = table[0]
+        assert corner.n_reads == 3  # west neighbour skipped
+        targets = sorted(a.target for a in corner.accesses if a.exists)
+        assert targets == [1, 11, 110]

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test-suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.boundary import BoundarySpec
+from repro.core.config import SmacheConfig
+from repro.core.grid import GridSpec
+from repro.core.stencil import StencilShape
+from repro.reference.kernels import AveragingKernel
+
+
+@pytest.fixture
+def paper_config() -> SmacheConfig:
+    """The paper's 11x11 validation configuration."""
+    return SmacheConfig.paper_example()
+
+
+@pytest.fixture
+def small_config() -> SmacheConfig:
+    """A smaller 7x9 variant of the paper's configuration (faster sims)."""
+    return SmacheConfig.paper_example(rows=7, cols=9)
+
+
+@pytest.fixture
+def grid_11x11() -> GridSpec:
+    """An 11x11 grid of 4-byte words."""
+    return GridSpec(shape=(11, 11), word_bytes=4)
+
+
+@pytest.fixture
+def four_point() -> StencilShape:
+    """The paper's 4-point stencil."""
+    return StencilShape.four_point_2d()
+
+
+@pytest.fixture
+def paper_boundary() -> BoundarySpec:
+    """Circular top/bottom, open left/right."""
+    return BoundarySpec.paper_2d()
+
+
+@pytest.fixture
+def averaging_kernel() -> AveragingKernel:
+    """The 4-point averaging filter."""
+    return AveragingKernel()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(1234)

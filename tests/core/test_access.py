@@ -1,0 +1,122 @@
+"""Tests for repro.core.access: the stream/tuple/reach formal model."""
+
+import pytest
+
+from repro.core.access import (
+    access_histogram,
+    interior_reach,
+    max_reach,
+    reach_of,
+    stream_tuples,
+    tuple_for,
+)
+from repro.core.boundary import BoundaryKind, BoundarySpec
+from repro.core.grid import GridSpec, IterationPattern
+from repro.core.stencil import StencilShape
+
+
+class TestReachOf:
+    def test_empty_is_zero(self):
+        assert reach_of([]) == 0
+
+    def test_singleton_is_zero(self):
+        assert reach_of([5]) == 0
+
+    def test_paper_example(self):
+        # tuple (m[i], m[i-1], m[i+1], m[i-k], m[i+k]) has reach 2k
+        k = 7
+        assert reach_of([0, -1, 1, -k, k]) == 2 * k
+
+    def test_asymmetric(self):
+        assert reach_of([-3, 10]) == 13
+
+
+class TestTupleFor:
+    def test_interior_tuple_11x11(self, grid_11x11, four_point, paper_boundary):
+        t = tuple_for(grid_11x11, four_point, paper_boundary, 60)  # (5, 5)
+        assert t.centre_linear == 60
+        assert sorted(t.stream_offsets) == [-11, -1, 1, 11]
+        assert t.reach == 22
+        assert t.n_existing == 4
+
+    def test_top_left_corner_tuple(self, grid_11x11, four_point, paper_boundary):
+        t = tuple_for(grid_11x11, four_point, paper_boundary, 0)
+        # north wraps to 110 (offset +110), west skipped, east +1, south +11
+        assert sorted(t.stream_offsets) == [1, 11, 110]
+        assert t.reach == 109
+        assert t.max_abs_offset == 110
+
+    def test_bottom_right_corner_tuple(self, grid_11x11, four_point, paper_boundary):
+        t = tuple_for(grid_11x11, four_point, paper_boundary, 120)
+        # south wraps to 10 (offset -110), east skipped, west -1, north -11
+        assert sorted(t.stream_offsets) == [-110, -11, -1]
+
+    def test_custom_centre_linear(self, grid_11x11, four_point, paper_boundary):
+        t = tuple_for(grid_11x11, four_point, paper_boundary, position=3, centre_linear=60)
+        assert t.position == 3
+        assert t.centre_linear == 60
+
+    def test_shape_key_equal_for_same_case(self, grid_11x11, four_point, paper_boundary):
+        t1 = tuple_for(grid_11x11, four_point, paper_boundary, 60)
+        t2 = tuple_for(grid_11x11, four_point, paper_boundary, 61)
+        assert t1.shape_key == t2.shape_key
+
+    def test_shape_key_differs_between_cases(self, grid_11x11, four_point, paper_boundary):
+        interior = tuple_for(grid_11x11, four_point, paper_boundary, 60)
+        corner = tuple_for(grid_11x11, four_point, paper_boundary, 0)
+        assert interior.shape_key != corner.shape_key
+
+    def test_constant_boundary_included_in_shape_key(self, grid_11x11, four_point):
+        open_spec = BoundarySpec.all_open(2)
+        const_spec = BoundarySpec.per_dimension(
+            [BoundaryKind.CONSTANT, BoundaryKind.CONSTANT], constant_value=1.0
+        )
+        t_open = tuple_for(grid_11x11, four_point, open_spec, 0)
+        t_const = tuple_for(grid_11x11, four_point, const_spec, 0)
+        assert t_open.shape_key != t_const.shape_key
+
+
+class TestStreamTuples:
+    def test_yields_one_tuple_per_position(self, grid_11x11, four_point, paper_boundary):
+        tuples = list(stream_tuples(grid_11x11, four_point, paper_boundary))
+        assert len(tuples) == 121
+        assert [t.position for t in tuples] == list(range(121))
+
+    def test_respects_iteration_pattern(self, grid_11x11, four_point, paper_boundary):
+        pattern = IterationPattern.from_indices(grid_11x11, [60, 0, 120])
+        tuples = list(stream_tuples(grid_11x11, four_point, paper_boundary, pattern))
+        assert [t.centre_linear for t in tuples] == [60, 0, 120]
+
+    def test_max_reach_paper_case_is_grid_spanning(self, grid_11x11, four_point, paper_boundary):
+        # top-edge tuples span offsets -1 .. +110, i.e. essentially the whole grid
+        assert max_reach(grid_11x11, four_point, paper_boundary) == 111
+
+    def test_max_reach_open_boundaries_is_interior_reach(self, grid_11x11, four_point):
+        spec = BoundarySpec.all_open(2)
+        assert max_reach(grid_11x11, four_point, spec) == 22
+
+    def test_interior_reach_helper(self, grid_11x11, four_point):
+        assert interior_reach(grid_11x11, four_point) == 22
+
+
+class TestAccessHistogram:
+    def test_paper_case_has_nine_cases(self, grid_11x11, four_point, paper_boundary):
+        hist = access_histogram(grid_11x11, four_point, paper_boundary)
+        assert len(hist) == 9
+        assert sum(hist.values()) == 121
+
+    def test_paper_case_population_breakdown(self, grid_11x11, four_point, paper_boundary):
+        hist = access_histogram(grid_11x11, four_point, paper_boundary)
+        counts = sorted(hist.values())
+        # 4 corners (1 position each), 4 edges (9 positions each), interior (81)
+        assert counts == [1, 1, 1, 1, 9, 9, 9, 9, 81]
+
+    def test_fully_periodic_has_single_case(self, grid_11x11, four_point):
+        hist = access_histogram(grid_11x11, four_point, BoundarySpec.all_circular(2))
+        # wrap offsets differ between first/last rows and columns, so the case
+        # count is 9 again, but every tuple has exactly 4 existing accesses
+        assert sum(hist.values()) == 121
+
+    def test_open_boundaries_case_count(self, grid_11x11, four_point):
+        hist = access_histogram(grid_11x11, four_point, BoundarySpec.all_open(2))
+        assert len(hist) == 9

@@ -1,0 +1,67 @@
+"""Tests for repro.core.buffers: buffer specifications."""
+
+import pytest
+
+from repro.core.buffers import PIPELINE_SLACK, StaticBufferSpec, StreamBufferSpec
+
+
+class TestStreamBufferSpec:
+    def test_depth_includes_slack(self):
+        spec = StreamBufferSpec(reach=22, window_lo=-11, window_hi=11, word_bits=32)
+        assert spec.depth == 22 + PIPELINE_SLACK
+
+    def test_total_bits(self):
+        spec = StreamBufferSpec(reach=22, window_lo=-11, window_hi=11, word_bits=32)
+        assert spec.total_bits == 25 * 32
+
+    def test_zero_reach_allowed(self):
+        spec = StreamBufferSpec(reach=0, window_lo=0, window_hi=0, word_bits=32)
+        assert spec.depth == PIPELINE_SLACK
+
+    def test_inconsistent_window_rejected(self):
+        with pytest.raises(ValueError):
+            StreamBufferSpec(reach=10, window_lo=-3, window_hi=3, word_bits=32)
+
+    def test_negative_reach_rejected(self):
+        with pytest.raises(ValueError):
+            StreamBufferSpec(reach=-1, window_lo=0, window_hi=-1, word_bits=32)
+
+    def test_zero_word_bits_rejected(self):
+        with pytest.raises(ValueError):
+            StreamBufferSpec(reach=4, window_lo=-2, window_hi=2, word_bits=0)
+
+    def test_custom_slack(self):
+        spec = StreamBufferSpec(reach=10, window_lo=-5, window_hi=5, word_bits=16, slack=1)
+        assert spec.depth == 11
+
+
+class TestStaticBufferSpec:
+    def test_double_buffered_doubles_bits(self):
+        spec = StaticBufferSpec(name="row0", start=0, length=11, word_bits=32)
+        assert spec.banks == 2
+        assert spec.total_bits == 11 * 32 * 2
+
+    def test_single_buffered(self):
+        spec = StaticBufferSpec(
+            name="row0", start=0, length=11, word_bits=32, double_buffered=False
+        )
+        assert spec.banks == 1
+        assert spec.total_bits == 11 * 32
+
+    def test_covers(self):
+        spec = StaticBufferSpec(name="b", start=110, length=11, word_bits=32)
+        assert spec.covers(110)
+        assert spec.covers(120)
+        assert not spec.covers(121)
+        assert not spec.covers(109)
+
+    def test_end(self):
+        assert StaticBufferSpec(name="b", start=5, length=3, word_bits=32).end == 8
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            StaticBufferSpec(name="b", start=0, length=0, word_bits=32)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            StaticBufferSpec(name="b", start=-1, length=4, word_bits=32)

@@ -1,0 +1,186 @@
+"""Tests for repro.core.grid: GridSpec and IterationPattern."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import GridSpec, IterationPattern
+
+
+class TestGridSpecBasics:
+    def test_size_2d(self):
+        assert GridSpec(shape=(11, 11)).size == 121
+
+    def test_size_3d(self):
+        assert GridSpec(shape=(4, 5, 6)).size == 120
+
+    def test_ndim(self):
+        assert GridSpec(shape=(3, 4)).ndim == 2
+        assert GridSpec(shape=(3, 4, 5)).ndim == 3
+
+    def test_word_bits_default(self):
+        assert GridSpec(shape=(2, 2)).word_bits == 32
+
+    def test_word_bits_custom(self):
+        assert GridSpec(shape=(2, 2), word_bytes=8).word_bits == 64
+
+    def test_total_bytes(self):
+        assert GridSpec(shape=(11, 11), word_bytes=4).total_bytes == 484
+
+    def test_strides_2d(self):
+        assert GridSpec(shape=(11, 13)).strides == (13, 1)
+
+    def test_strides_3d(self):
+        assert GridSpec(shape=(3, 4, 5)).strides == (20, 5, 1)
+
+    def test_describe_mentions_dims(self):
+        assert "11x13" in GridSpec(shape=(11, 13)).describe()
+
+    def test_shape_normalised_to_ints(self):
+        grid = GridSpec(shape=(np.int64(3), np.int64(4)))
+        assert grid.shape == (3, 4)
+        assert all(isinstance(s, int) for s in grid.shape)
+
+
+class TestGridSpecValidation:
+    def test_rejects_zero_extent(self):
+        with pytest.raises(ValueError):
+            GridSpec(shape=(0, 4))
+
+    def test_rejects_negative_extent(self):
+        with pytest.raises(ValueError):
+            GridSpec(shape=(4, -1))
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            GridSpec(shape=())
+
+    def test_rejects_too_many_dims(self):
+        with pytest.raises(ValueError):
+            GridSpec(shape=(2, 2, 2, 2, 2))
+
+    def test_rejects_non_positive_word_bytes(self):
+        with pytest.raises(ValueError):
+            GridSpec(shape=(2, 2), word_bytes=0)
+
+
+class TestLinearisation:
+    def test_linear_index_origin(self):
+        assert GridSpec(shape=(11, 11)).linear_index((0, 0)) == 0
+
+    def test_linear_index_row_major(self):
+        grid = GridSpec(shape=(11, 11))
+        assert grid.linear_index((1, 0)) == 11
+        assert grid.linear_index((0, 1)) == 1
+        assert grid.linear_index((10, 10)) == 120
+
+    def test_coord_roundtrip_exhaustive_small(self):
+        grid = GridSpec(shape=(5, 7))
+        for linear in range(grid.size):
+            assert grid.linear_index(grid.coord(linear)) == linear
+
+    def test_linear_index_out_of_range_raises(self):
+        grid = GridSpec(shape=(4, 4))
+        with pytest.raises(IndexError):
+            grid.linear_index((4, 0))
+        with pytest.raises(IndexError):
+            grid.linear_index((0, -1))
+
+    def test_linear_index_wrong_arity_raises(self):
+        with pytest.raises(ValueError):
+            GridSpec(shape=(4, 4)).linear_index((1, 2, 3))
+
+    def test_coord_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            GridSpec(shape=(4, 4)).coord(16)
+
+    def test_contains(self):
+        grid = GridSpec(shape=(4, 6))
+        assert grid.contains((3, 5))
+        assert not grid.contains((4, 0))
+        assert not grid.contains((0, 6))
+        assert not grid.contains((-1, 0))
+        assert not grid.contains((1, 2, 3))
+
+    def test_linear_offset_matches_numpy(self):
+        grid = GridSpec(shape=(7, 9))
+        assert grid.linear_offset((1, 0)) == 9
+        assert grid.linear_offset((-1, 2)) == -7
+        assert grid.linear_offset((0, -1)) == -1
+
+    def test_coords_iterates_in_stream_order(self):
+        grid = GridSpec(shape=(3, 3))
+        coords = list(grid.coords())
+        assert coords[0] == (0, 0)
+        assert coords[4] == (1, 1)
+        assert coords[-1] == (2, 2)
+        assert len(coords) == 9
+
+    def test_empty_array_shape_and_dtype(self):
+        grid = GridSpec(shape=(3, 4))
+        arr = grid.empty_array()
+        assert arr.shape == (3, 4)
+        assert arr.dtype == np.float64
+        assert np.all(arr == 0)
+
+    @given(
+        rows=st.integers(min_value=1, max_value=12),
+        cols=st.integers(min_value=1, max_value=12),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_linearisation_matches_numpy_ravel(self, rows, cols, data):
+        grid = GridSpec(shape=(rows, cols))
+        r = data.draw(st.integers(min_value=0, max_value=rows - 1))
+        c = data.draw(st.integers(min_value=0, max_value=cols - 1))
+        expected = np.ravel_multi_index((r, c), (rows, cols))
+        assert grid.linear_index((r, c)) == expected
+
+
+class TestIterationPattern:
+    def test_contiguous_visits_everything_in_order(self):
+        grid = GridSpec(shape=(4, 5))
+        pattern = IterationPattern.contiguous(grid)
+        assert list(pattern.indices()) == list(range(20))
+        assert len(pattern) == 20
+        assert pattern.is_contiguous()
+
+    def test_strided_visits_everything_once(self):
+        grid = GridSpec(shape=(4, 5))
+        pattern = IterationPattern.strided(grid, 3)
+        visited = list(pattern.indices())
+        assert sorted(visited) == list(range(20))
+        assert visited[0] == 0
+        assert visited[1] == 3
+        assert not pattern.is_contiguous()
+
+    def test_strided_with_stride_one_is_contiguous(self):
+        grid = GridSpec(shape=(2, 5))
+        assert IterationPattern.strided(grid, 1).is_contiguous()
+
+    def test_explicit_pattern(self):
+        grid = GridSpec(shape=(2, 3))
+        pattern = IterationPattern.from_indices(grid, [5, 0, 3])
+        assert list(pattern.indices()) == [5, 0, 3]
+        assert len(pattern) == 3
+        assert not pattern.is_contiguous()
+
+    def test_explicit_identity_is_contiguous(self):
+        grid = GridSpec(shape=(2, 2))
+        assert IterationPattern.from_indices(grid, [0, 1, 2, 3]).is_contiguous()
+
+    def test_explicit_rejects_out_of_range(self):
+        grid = GridSpec(shape=(2, 2))
+        with pytest.raises(ValueError):
+            IterationPattern.from_indices(grid, [0, 4])
+
+    def test_strided_rejects_non_positive_stride(self):
+        grid = GridSpec(shape=(2, 2))
+        with pytest.raises(ValueError):
+            IterationPattern.strided(grid, 0)
+
+    def test_unknown_kind_rejected(self):
+        grid = GridSpec(shape=(2, 2))
+        with pytest.raises(ValueError):
+            IterationPattern(grid=grid, kind="zigzag")

@@ -1,0 +1,135 @@
+"""Tests for repro.core.ranges: range partitioning and case classification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boundary import BoundaryKind, BoundarySpec
+from repro.core.grid import GridSpec, IterationPattern
+from repro.core.ranges import (
+    classify_cases,
+    n_cases,
+    partition_into_ranges,
+    _banded_partition,
+    _enumerating_partition,
+)
+from repro.core.stencil import StencilShape
+
+
+class TestPaperCase:
+    def test_nine_cases(self, grid_11x11, four_point, paper_boundary):
+        assert n_cases(grid_11x11, four_point, paper_boundary) == 9
+
+    def test_ranges_cover_stream_exactly(self, grid_11x11, four_point, paper_boundary):
+        ranges = partition_into_ranges(grid_11x11, four_point, paper_boundary)
+        covered = sorted((r.start, r.end) for r in ranges)
+        position = 0
+        for start, end in covered:
+            assert start == position
+            position = end
+        assert position == 121
+
+    def test_ranges_per_row(self, grid_11x11, four_point, paper_boundary):
+        # every row splits into left edge / interior / right edge
+        ranges = partition_into_ranges(grid_11x11, four_point, paper_boundary)
+        assert len(ranges) == 33
+
+    def test_interior_case_dominates(self, grid_11x11, four_point, paper_boundary):
+        ranges = partition_into_ranges(grid_11x11, four_point, paper_boundary)
+        cases = classify_cases(ranges)
+        assert max(c.n_positions for c in cases.values()) == 81
+
+    def test_case_info_consistency(self, grid_11x11, four_point, paper_boundary):
+        ranges = partition_into_ranges(grid_11x11, four_point, paper_boundary)
+        cases = classify_cases(ranges)
+        assert sum(c.n_positions for c in cases.values()) == 121
+        assert sum(c.n_ranges for c in cases.values()) == len(ranges)
+
+    def test_range_properties(self, grid_11x11, four_point, paper_boundary):
+        ranges = partition_into_ranges(grid_11x11, four_point, paper_boundary)
+        interior = [r for r in ranges if r.start == 56][0]
+        assert interior.reach == 22
+        assert interior.n_points == 4
+        assert interior.end == interior.start + interior.length
+
+
+class TestBandedVsEnumerating:
+    @pytest.mark.parametrize(
+        "shape,boundary",
+        [
+            ((7, 9), BoundarySpec.paper_2d()),
+            ((6, 6), BoundarySpec.all_circular(2)),
+            ((5, 8), BoundarySpec.all_open(2)),
+            ((8, 5), BoundarySpec.per_dimension([BoundaryKind.MIRROR, BoundaryKind.CLAMP])),
+        ],
+    )
+    def test_both_partitioners_agree(self, shape, boundary):
+        grid = GridSpec(shape=shape)
+        stencil = StencilShape.four_point_2d()
+        banded = _banded_partition(grid, stencil, boundary)
+        enumerated = _enumerating_partition(
+            grid, stencil, boundary, IterationPattern.contiguous(grid)
+        )
+        assert [(r.start, r.length) for r in banded] == [
+            (r.start, r.length) for r in enumerated
+        ]
+        assert [r.stream_offsets for r in banded] == [r.stream_offsets for r in enumerated]
+
+    @given(
+        rows=st.integers(3, 9),
+        cols=st.integers(3, 9),
+        periodic_rows=st.booleans(),
+        periodic_cols=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_partition_covers_stream_for_any_boundary_mix(
+        self, rows, cols, periodic_rows, periodic_cols
+    ):
+        grid = GridSpec(shape=(rows, cols))
+        boundary = BoundarySpec.per_dimension(
+            [
+                BoundaryKind.CIRCULAR if periodic_rows else BoundaryKind.OPEN,
+                BoundaryKind.CIRCULAR if periodic_cols else BoundaryKind.OPEN,
+            ]
+        )
+        ranges = partition_into_ranges(grid, StencilShape.five_point_2d(), boundary)
+        assert sum(r.length for r in ranges) == grid.size
+        position = 0
+        for r in ranges:
+            assert r.start == position
+            position += r.length
+
+
+class TestDegenerateAndNonContiguous:
+    def test_grid_smaller_than_stencil_radius(self):
+        grid = GridSpec(shape=(2, 2))
+        ranges = partition_into_ranges(
+            grid, StencilShape.star_2d(radius=2), BoundarySpec.all_circular(2)
+        )
+        assert sum(r.length for r in ranges) == 4
+
+    def test_1d_grid(self):
+        grid = GridSpec(shape=(16,))
+        stencil = StencilShape.from_offsets([(-1,), (1,)])
+        ranges = partition_into_ranges(grid, stencil, BoundarySpec.all_circular(1))
+        assert sum(r.length for r in ranges) == 16
+        assert len(classify_cases(ranges)) == 3
+
+    def test_non_contiguous_pattern_uses_enumerator(self, grid_11x11, four_point, paper_boundary):
+        pattern = IterationPattern.strided(grid_11x11, 2)
+        ranges = partition_into_ranges(grid_11x11, four_point, paper_boundary, pattern)
+        assert sum(r.length for r in ranges) == 121
+
+    def test_enumerator_guard_on_huge_patterns(self, four_point, paper_boundary):
+        grid = GridSpec(shape=(64, 64))
+        pattern = IterationPattern.strided(grid, 2)
+        with pytest.raises(ValueError):
+            _enumerating_partition(grid, four_point, paper_boundary, pattern, max_positions=100)
+
+    def test_1024_grid_partitions_quickly(self):
+        grid = GridSpec(shape=(1024, 1024))
+        ranges = partition_into_ranges(
+            grid, StencilShape.four_point_2d(), BoundarySpec.paper_2d()
+        )
+        assert sum(r.length for r in ranges) == 1024 * 1024
+        assert len(classify_cases(ranges)) == 9

@@ -1,0 +1,139 @@
+"""Tests for repro.core.stencil: StencilShape."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stencil import StencilShape
+
+
+class TestConstruction:
+    def test_four_point_has_four_offsets_no_centre(self):
+        s = StencilShape.four_point_2d()
+        assert s.n_points == 4
+        assert not s.includes_centre
+
+    def test_five_point_includes_centre(self):
+        s = StencilShape.five_point_2d()
+        assert s.n_points == 5
+        assert s.includes_centre
+
+    def test_duplicate_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            StencilShape(offsets=((0, 1), (0, 1)))
+
+    def test_empty_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            StencilShape(offsets=())
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ValueError):
+            StencilShape(offsets=((0, 1), (1, 2, 3)))
+
+    def test_from_offsets_accepts_lists(self):
+        s = StencilShape.from_offsets([[0, 0], [1, 1]], name="diag")
+        assert s.offsets == ((0, 0), (1, 1))
+        assert s.name == "diag"
+
+    def test_with_centre_adds_centre_once(self):
+        s = StencilShape.four_point_2d().with_centre()
+        assert s.includes_centre
+        assert s.n_points == 5
+        assert s.with_centre().n_points == 5
+
+    def test_str_mentions_name_and_points(self):
+        text = str(StencilShape.four_point_2d())
+        assert "4-point" in text and "4 points" in text
+
+
+class TestGeometry:
+    def test_extent_symmetric(self):
+        s = StencilShape.four_point_2d()
+        assert s.extent(0) == (-1, 1)
+        assert s.extent(1) == (-1, 1)
+
+    def test_extent_asymmetric(self):
+        s = StencilShape.asymmetric_2d()
+        assert s.extent(0) == (-1, 3)
+        assert s.extent(1) == (-1, 2)
+
+    def test_radius(self):
+        s = StencilShape.asymmetric_2d()
+        assert s.radius(0) == 3
+        assert s.radius(1) == 2
+
+    def test_linear_offsets_row_major(self):
+        s = StencilShape.four_point_2d()
+        assert set(s.linear_offsets((11, 1))) == {-11, 11, -1, 1}
+
+    def test_linear_offsets_wrong_arity(self):
+        with pytest.raises(ValueError):
+            StencilShape.four_point_2d().linear_offsets((11,))
+
+    def test_interior_reach_four_point(self):
+        assert StencilShape.four_point_2d().interior_reach((11, 1)) == 22
+        assert StencilShape.four_point_2d().interior_reach((1024, 1)) == 2048
+
+    def test_ndim(self):
+        assert StencilShape.four_point_2d().ndim == 2
+        assert StencilShape.von_neumann(3).ndim == 3
+
+
+class TestFactories:
+    def test_von_neumann_radius_1_2d(self):
+        s = StencilShape.von_neumann(2, radius=1)
+        assert s.n_points == 5  # centre + 4 neighbours
+
+    def test_von_neumann_excluding_centre(self):
+        s = StencilShape.von_neumann(2, radius=1, include_centre=False)
+        assert s.n_points == 4
+        assert not s.includes_centre
+
+    def test_von_neumann_radius_2_2d(self):
+        s = StencilShape.von_neumann(2, radius=2)
+        assert s.n_points == 13
+
+    def test_von_neumann_3d(self):
+        s = StencilShape.von_neumann(3, radius=1)
+        assert s.n_points == 7
+
+    def test_moore_radius_1(self):
+        assert StencilShape.moore(2, radius=1).n_points == 9
+        assert StencilShape.moore(2, radius=1, include_centre=False).n_points == 8
+
+    def test_moore_3d(self):
+        assert StencilShape.moore(3, radius=1).n_points == 27
+
+    def test_star_radius_2(self):
+        s = StencilShape.star_2d(radius=2)
+        assert s.n_points == 9
+        assert s.radius(0) == 2
+
+    def test_star_rejects_zero_radius(self):
+        with pytest.raises(ValueError):
+            StencilShape.star_2d(radius=0)
+
+    @given(radius=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_von_neumann_point_count_formula(self, radius):
+        # |{x : |x1|+|x2| <= r}| = 2r^2 + 2r + 1 in 2D
+        s = StencilShape.von_neumann(2, radius=radius)
+        assert s.n_points == 2 * radius * radius + 2 * radius + 1
+
+    @given(radius=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=6, deadline=None)
+    def test_moore_point_count_formula(self, radius):
+        s = StencilShape.moore(2, radius=radius)
+        assert s.n_points == (2 * radius + 1) ** 2
+
+    @given(
+        offsets=st.lists(
+            st.tuples(st.integers(-5, 5), st.integers(-5, 5)), min_size=1, max_size=8, unique=True
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reach_is_max_minus_min_of_linear_offsets(self, offsets):
+        s = StencilShape.from_offsets(offsets)
+        strides = (13, 1)
+        linear = [r * 13 + c for r, c in offsets]
+        assert s.interior_reach(strides) == max(linear) - min(linear)

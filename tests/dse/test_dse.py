@@ -1,0 +1,116 @@
+"""Tests for repro.dse: partition sweeps, objectives and selection."""
+
+import pytest
+
+from repro.core.config import SmacheConfig
+from repro.dse.explorer import (
+    explore_grid_sizes,
+    explore_partitions,
+    pareto_front,
+    select_best,
+)
+from repro.dse.objectives import (
+    maximise_fmax,
+    minimise_bram_bits,
+    minimise_registers,
+    minimise_total_memory_bits,
+    weighted_balance,
+)
+from repro.fpga.device import small_device, stratix_v
+from repro.fpga.resources import ResourceUsage
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    config = SmacheConfig.paper_example(64, 64)
+    return explore_partitions(config, device=stratix_v(), steps=6)
+
+
+class TestExplorePartitions:
+    def test_sweep_spans_hybrid_to_register_only(self, sweep):
+        regs = [p.partition.register_elements for p in sweep]
+        assert min(regs) == 11
+        assert max(regs) == sweep[0].plan.stream.depth
+
+    def test_register_bits_increase_monotonically(self, sweep):
+        r = [p.cost.r_stream_bits for p in sweep]
+        assert r == sorted(r)
+
+    def test_bram_bits_decrease_monotonically(self, sweep):
+        b = [p.cost.b_stream_bits for p in sweep]
+        assert b == sorted(b, reverse=True)
+
+    def test_every_point_fits_the_big_device(self, sweep):
+        assert all(p.fits for p in sweep)
+
+    def test_labels_are_informative(self, sweep):
+        assert "register slots" in sweep[0].label
+
+
+class TestSelection:
+    def test_minimise_registers_picks_hybrid_extreme(self, sweep):
+        best = select_best(sweep, minimise_registers)
+        assert best.partition.register_elements == 11
+
+    def test_minimise_bram_picks_register_only_extreme(self, sweep):
+        best = select_best(sweep, minimise_bram_bits)
+        assert best.cost.b_stream_bits == 0
+
+    def test_weighted_balance_interpolates(self, sweep):
+        best = select_best(sweep, weighted_balance(register_weight=1.0, bram_weight=1.0))
+        assert best is not None
+
+    def test_weighted_balance_validates_weights(self):
+        with pytest.raises(ValueError):
+            weighted_balance(register_weight=-1)
+
+    def test_total_memory_objective(self, sweep):
+        best = select_best(sweep, minimise_total_memory_bits)
+        assert best.cost.total_bits == min(p.cost.total_bits for p in sweep)
+
+    def test_maximise_fmax_returns_a_point(self, sweep):
+        assert select_best(sweep, maximise_fmax) is not None
+
+    def test_require_fit_filters(self, sweep):
+        # a device too small for anything -> None
+        tiny = small_device()
+        reserved = ResourceUsage(
+            alms=tiny.alms - 10, registers=tiny.registers - 10, bram_bits=tiny.bram_bits - 10
+        )
+        config = SmacheConfig.paper_example(64, 64)
+        points = explore_partitions(config, device=tiny, steps=3, reserved=reserved)
+        assert select_best(points, minimise_registers) is None
+        assert select_best(points, minimise_registers, require_fit=False) is not None
+
+
+class TestParetoFront:
+    def test_front_contains_both_extremes(self, sweep):
+        front = pareto_front(sweep)
+        regs = [p.partition.register_elements for p in front]
+        assert min(regs) == 11
+        assert max(regs) == sweep[0].plan.stream.depth
+
+    def test_front_points_are_mutually_non_dominating(self, sweep):
+        front = pareto_front(sweep)
+        for p in front:
+            for q in front:
+                if p is q:
+                    continue
+                assert not (
+                    q.cost.r_total_bits < p.cost.r_total_bits
+                    and q.cost.b_total_bits < p.cost.b_total_bits
+                )
+
+
+class TestExploreGridSizes:
+    def test_prices_every_size(self):
+        config = SmacheConfig.paper_example()
+        points = explore_grid_sizes(config, sizes=[(11, 11), (64, 64), (256, 256)])
+        assert len(points) == 3
+        bram = [p.cost.b_total_bits for p in points]
+        assert bram == sorted(bram)
+
+    def test_grid_size_reflected_in_config_names(self):
+        config = SmacheConfig.paper_example()
+        points = explore_grid_sizes(config, sizes=[(32, 32)])
+        assert "32x32" in points[0].config.name

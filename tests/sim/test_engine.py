@@ -1,0 +1,128 @@
+"""Tests for repro.sim.engine: the simulator and component scheduling."""
+
+import pytest
+
+from repro.sim.engine import Component, SimulationError, Simulator
+
+
+class Producer(Component):
+    """Pushes consecutive integers into a channel."""
+
+    def __init__(self, sim, limit=100):
+        super().__init__(sim, "producer")
+        self.out = self.channel("out", 2)
+        self.sent = 0
+        self.limit = limit
+
+    def tick(self):
+        if self.sent < self.limit and self.out.can_push():
+            self.out.push(self.sent)
+            self.sent += 1
+
+    def finished(self):
+        return self.sent >= self.limit
+
+
+class Consumer(Component):
+    """Pops everything it can from a channel."""
+
+    def __init__(self, sim, source):
+        super().__init__(sim, "consumer")
+        self.source = source
+        self.received = []
+
+    def tick(self):
+        if self.source.can_pop():
+            self.received.append(self.source.pop())
+
+    def finished(self):
+        return not self.source.can_pop()
+
+
+class TestSimulator:
+    def test_producer_consumer_pipeline(self):
+        sim = Simulator()
+        producer = Producer(sim, limit=20)
+        consumer = Consumer(sim, producer.out)
+        sim.run_until(lambda: len(consumer.received) == 20, max_cycles=200)
+        assert consumer.received == list(range(20))
+
+    def test_registration_order_does_not_change_result(self):
+        # consumer registered before producer: same outcome, because channels
+        # are registered (one cycle per hop).
+        sim1 = Simulator()
+        p1 = Producer(sim1, limit=15)
+        c1 = Consumer(sim1, p1.out)
+        sim1.run_until(lambda: len(c1.received) == 15, max_cycles=200)
+
+        sim2 = Simulator()
+        p2 = Producer(sim2, limit=15)
+        # Manually register a consumer that was constructed later but ticked
+        # first by swapping the component list.
+        c2 = Consumer(sim2, p2.out)
+        sim2._components.reverse()
+        sim2.run_until(lambda: len(c2.received) == 15, max_cycles=200)
+
+        assert c1.received == c2.received
+        assert sim1.cycle == sim2.cycle
+
+    def test_throughput_is_one_per_cycle_after_fill(self):
+        sim = Simulator()
+        producer = Producer(sim, limit=50)
+        consumer = Consumer(sim, producer.out)
+        cycles = sim.run_until(lambda: len(consumer.received) == 50, max_cycles=500)
+        assert cycles <= 50 + 5  # pipeline fill overhead only
+
+    def test_run_until_timeout_raises(self):
+        sim = Simulator()
+        Producer(sim, limit=10)
+        with pytest.raises(SimulationError):
+            sim.run_until(lambda: False, max_cycles=20)
+
+    def test_run_until_idle(self):
+        sim = Simulator()
+        producer = Producer(sim, limit=5)
+        consumer = Consumer(sim, producer.out)
+        sim.run_until_idle(max_cycles=100)
+        assert consumer.received == list(range(5))
+
+    def test_step_requires_positive_cycles(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.step(0)
+
+    def test_duplicate_channel_names_rejected(self):
+        sim = Simulator()
+        sim.create_channel("x")
+        with pytest.raises(SimulationError):
+            sim.create_channel("x")
+
+    def test_duplicate_wire_names_rejected(self):
+        sim = Simulator()
+        sim.create_wire("w")
+        with pytest.raises(SimulationError):
+            sim.create_wire("w")
+
+    def test_reset_restores_cycle_and_channels(self):
+        sim = Simulator()
+        producer = Producer(sim, limit=5)
+        consumer = Consumer(sim, producer.out)
+        sim.run_until_idle(max_cycles=100)
+        sim.reset()
+        assert sim.cycle == 0
+        assert producer.out.occupancy == 0
+
+    def test_channel_stats_reported(self):
+        sim = Simulator()
+        producer = Producer(sim, limit=5)
+        Consumer(sim, producer.out)
+        sim.run_until_idle(max_cycles=100)
+        stats = sim.channel_stats()
+        assert stats["producer.out"]["pushes"] == 5
+        assert stats["producer.out"]["pops"] == 5
+
+    def test_base_component_tick_is_abstract(self):
+        sim = Simulator()
+        comp = Component(sim, "raw")
+        with pytest.raises(NotImplementedError):
+            comp.tick()

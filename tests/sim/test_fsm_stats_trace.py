@@ -1,0 +1,140 @@
+"""Tests for repro.sim.fsm, repro.sim.stats and repro.sim.trace."""
+
+import pytest
+
+from repro.sim.fsm import FSM
+from repro.sim.stats import StatsCollector
+from repro.sim.trace import TraceLog
+
+
+class TestFSM:
+    def test_starts_in_initial_state(self):
+        fsm = FSM("f", ["A", "B"], "A")
+        assert fsm.is_in("A")
+        assert not fsm.is_in("B")
+
+    def test_transition(self):
+        fsm = FSM("f", ["A", "B"], "A")
+        fsm.go("B", cycle=4)
+        assert fsm.is_in("B")
+        assert fsm.transition_count == 1
+        assert fsm.history == [(4, "B")]
+
+    def test_self_transition_not_counted(self):
+        fsm = FSM("f", ["A", "B"], "A")
+        fsm.go("A")
+        assert fsm.transition_count == 0
+
+    def test_unknown_state_rejected(self):
+        fsm = FSM("f", ["A"], "A")
+        with pytest.raises(ValueError):
+            fsm.go("Z")
+        with pytest.raises(ValueError):
+            fsm.is_in("Z")
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(ValueError):
+            FSM("f", ["A"], "B")
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ValueError):
+            FSM("f", ["A", "A"], "A")
+
+    def test_occupancy_counters(self):
+        fsm = FSM("f", ["A", "B"], "A")
+        fsm.tick()
+        fsm.tick()
+        fsm.go("B")
+        fsm.tick()
+        assert fsm.occupancy() == {"A": 2, "B": 1}
+
+    def test_state_register_bits(self):
+        assert FSM("f", ["A", "B"], "A").state_register_bits == 1
+        assert FSM("f", ["A", "B", "C"], "A").state_register_bits == 2
+        assert FSM("f", ["A", "B", "C", "D", "E"], "A").state_register_bits == 3
+
+    def test_reset(self):
+        fsm = FSM("f", ["A", "B"], "A")
+        fsm.go("B")
+        fsm.tick()
+        fsm.reset()
+        assert fsm.is_in("A")
+        assert fsm.transition_count == 0
+        assert fsm.occupancy()["B"] == 0
+
+
+class TestStatsCollector:
+    def test_incr_and_get(self):
+        stats = StatsCollector()
+        stats.incr("x")
+        stats.incr("x", 4)
+        assert stats.get("x") == 5
+        assert stats.get("missing") == 0
+
+    def test_set_overwrites(self):
+        stats = StatsCollector()
+        stats.incr("x", 3)
+        stats.set("x", 10)
+        assert stats.get("x") == 10
+
+    def test_histogram(self):
+        stats = StatsCollector()
+        stats.observe("lat", 3)
+        stats.observe("lat", 3)
+        stats.observe("lat", 5)
+        assert stats.histogram("lat") == {3: 2, 5: 1}
+
+    def test_merge(self):
+        a, b = StatsCollector("a"), StatsCollector("b")
+        a.incr("x", 2)
+        b.incr("x", 3)
+        b.observe("h", 1)
+        a.merge(b)
+        assert a.get("x") == 5
+        assert a.histogram("h") == {1: 1}
+
+    def test_reset(self):
+        stats = StatsCollector()
+        stats.incr("x")
+        stats.reset()
+        assert stats.counters() == {}
+
+
+class TestTraceLog:
+    def test_record_and_query(self):
+        trace = TraceLog()
+        trace.record(1, "smache", "start_work_instance", 0)
+        trace.record(5, "smache", "prefetch_done")
+        trace.record(9, "sequencer", "launch_instance", 1)
+        assert len(trace) == 3
+        assert trace.count("launch_instance") == 1
+        assert trace.first("prefetch_done").cycle == 5
+        assert trace.cycles_of("start_work_instance") == [1]
+        assert len(trace.events(source="smache")) == 2
+
+    def test_disabled_log_records_nothing(self):
+        trace = TraceLog(enabled=False)
+        trace.record(1, "x", "e")
+        assert len(trace) == 0
+
+    def test_max_events_drops_overflow(self):
+        trace = TraceLog(max_events=2)
+        for i in range(5):
+            trace.record(i, "x", "e")
+        assert len(trace) == 2
+        assert trace.dropped == 3
+
+    def test_predicate_filter(self):
+        trace = TraceLog()
+        for i in range(10):
+            trace.record(i, "x", "e", payload=i)
+        late = trace.events(predicate=lambda e: e.cycle >= 7)
+        assert len(late) == 3
+
+    def test_format_and_clear(self):
+        trace = TraceLog()
+        trace.record(1, "x", "e", payload={"a": 1})
+        text = trace.format()
+        assert "e" in text and "x" in text
+        trace.clear()
+        assert len(trace) == 0
