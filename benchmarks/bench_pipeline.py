@@ -1,0 +1,158 @@
+"""Benchmarks for the compilation pipeline's fast path.
+
+Three claims are tracked so future PRs can watch the fast path:
+
+* the ``analytic`` backend predicts the Figure-2 workload orders of magnitude
+  faster than cycle-accurate simulation, while staying inside its 5% cycle
+  tolerance (traffic and ops are exact);
+* the keyed plan cache turns repeated compilations of the same problem into
+  lookups;
+* a DSE sweep that prices the space analytically and re-simulates only the
+  Pareto front selects the same design as simulating everything, measurably
+  faster.
+"""
+
+import time
+from dataclasses import replace
+
+from benchmarks.conftest import run_once
+from repro.dse.explorer import explore_performance
+from repro.pipeline import (
+    ANALYTIC_TOLERANCE,
+    EvaluationRequest,
+    StencilProblem,
+    clear_plan_cache,
+    compile,
+    evaluate,
+)
+from repro.pipeline.cache import PlanCache, plan_cache
+
+
+def sweep_candidates():
+    base = StencilProblem.paper_example(11, 11)
+    return [
+        replace(
+            base,
+            max_stream_reach=reach,
+            name=f"reach-{reach}" if reach is not None else "unconstrained",
+        )
+        for reach in (0, 2, 4, 8, 11, None)
+    ]
+
+
+class TestAnalyticSpeedup:
+    def test_bench_analytic_backend(self, benchmark):
+        """Time the analytic backend on the paper's 100-instance workload."""
+        design = compile(StencilProblem.paper_example())
+        request = EvaluationRequest(iterations=100)
+
+        t0 = time.perf_counter()
+        simulated = evaluate(design, backend="simulate", request=request)
+        simulate_seconds = time.perf_counter() - t0
+
+        predicted = run_once(
+            benchmark, evaluate, design, backend="analytic", request=request
+        )
+        t1 = time.perf_counter()
+        evaluate(design, backend="analytic", request=request)
+        predict_seconds = max(time.perf_counter() - t1, 1e-9)
+
+        error = abs(predicted.cycles - simulated.cycles) / simulated.cycles
+        speedup = simulate_seconds / predict_seconds
+        print()
+        print(f"simulate: {simulated.cycles} cycles in {simulate_seconds * 1e3:.1f} ms")
+        print(f"analytic: {predicted.cycles} cycles in {predict_seconds * 1e6:.0f} us "
+              f"({error:+.2%} cycle error, {speedup:,.0f}x faster)")
+        assert error <= ANALYTIC_TOLERANCE
+        assert predicted.dram_bytes == simulated.dram_bytes
+        assert speedup > 20
+
+
+class TestPlanCacheBenchmark:
+    def test_bench_cold_vs_cached_compile(self, benchmark):
+        """Time a cold 256x256 compilation; cached lookups must be ~free."""
+        problem = StencilProblem.paper_example(256, 256)
+        cache = PlanCache()
+
+        cold = run_once(benchmark, compile, problem, cache=cache)
+
+        t0 = time.perf_counter()
+        repeats = 50
+        for _ in range(repeats):
+            cached = compile(StencilProblem.paper_example(256, 256), cache=cache)
+        cached_seconds = (time.perf_counter() - t0) / repeats
+
+        stats = cache.stats()
+        print()
+        print(f"plan cache after {repeats} re-compilations: {stats.hits} hits, "
+              f"{stats.misses} miss(es), hit rate {stats.hit_rate:.1%}, "
+              f"{cached_seconds * 1e6:.0f} us per cached compile")
+        assert cached is cold
+        assert stats.misses == 1
+        assert stats.hits == repeats
+
+    def test_bench_shared_cache_across_consumers(self, benchmark):
+        """Eval-style reuse: figure2 + table1 + DSE hit one shared cache."""
+        from repro.eval.figure2 import run_figure2
+        from repro.eval.table1 import run_table1
+
+        clear_plan_cache()
+
+        def consumers():
+            run_figure2(iterations=5)
+            run_table1()
+            return plan_cache.stats()
+
+        stats = run_once(benchmark, consumers)
+        print()
+        print(f"shared plan cache: {stats.entries} entries, {stats.hits} hits, "
+              f"{stats.misses} misses")
+        # figure2's 11x11 hybrid problem is re-used by table1's hybrid row
+        assert stats.hits >= 1
+
+
+class TestDseSweepBenchmark:
+    def test_bench_analytic_sweep_vs_full_simulation(self, benchmark):
+        """The acceptance claim: same selected design, measurably faster."""
+        candidates = sweep_candidates()
+        iterations = 5
+
+        def best_of(fn, rounds=3):
+            result, best = None, float("inf")
+            for _ in range(rounds):
+                t0 = time.perf_counter()
+                result = fn()
+                best = min(best, time.perf_counter() - t0)
+            return result, max(best, 1e-9)
+
+        full, full_seconds = best_of(
+            lambda: explore_performance(
+                candidates, iterations=iterations, backend="simulate", simulate_front=False
+            )
+        )
+        fast = run_once(
+            benchmark, explore_performance, candidates, iterations=iterations
+        )
+        _, fast_seconds = best_of(
+            lambda: explore_performance(candidates, iterations=iterations)
+        )
+
+        print()
+        print(fast.format())
+        print(f"full simulation : {full.simulated_count} candidates simulated "
+              f"in {full_seconds * 1e3:.1f} ms (best of 3)")
+        print(f"analytic + front: {fast.simulated_count} candidates simulated "
+              f"in {fast_seconds * 1e3:.1f} ms ({full_seconds / fast_seconds:.1f}x faster)")
+        assert fast.selected.label == full.selected.label
+        assert fast.selected.cycles == full.selected.cycles
+        assert fast.simulated_count < full.simulated_count
+        # best-of-3 on both sides keeps this ordering robust to scheduler noise;
+        # the structural margin is ~(candidates / front) in simulated work
+        assert fast_seconds < full_seconds
+
+
+if __name__ == "__main__":
+    import pytest
+    import sys
+
+    sys.exit(pytest.main([__file__, "--benchmark-only", "-s"]))

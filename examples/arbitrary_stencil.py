@@ -23,30 +23,26 @@ from repro.core.boundary import BoundaryKind, BoundarySpec, EdgeBehaviour
 from repro.core.config import SmacheConfig
 from repro.core.grid import GridSpec
 from repro.core.stencil import StencilShape
-from repro.arch.system import run_smache
-from repro.reference import AveragingKernel, reference_run
-from repro.reference.stencil_exec import make_test_grid
+from repro.pipeline import StencilProblem, compile, evaluate
 
 ITERATIONS = 3
 
 
 def show_case(name: str, config: SmacheConfig) -> None:
-    """Plan, cost, simulate and validate one stencil case."""
+    """Compile one stencil case, then validate all three backends against
+    each other: reference output vs simulation, analytic cycles vs simulated."""
     print(f"=== {name} ===")
-    analysis = config.analysis()
-    print(analysis.describe())
-    cost = config.cost_estimate()
-    print(f"  memory estimate : {cost.r_total_bits} register bits, "
-          f"{cost.b_total_bits} BRAM bits")
+    design = compile(StencilProblem.from_config(config))
+    print(design.describe())
 
-    kernel = AveragingKernel(expected_points=config.stencil.n_points)
-    grid_in = make_test_grid(config.grid, kind="random")
-    reference = reference_run(
-        grid_in, config.grid, config.stencil, config.boundary, kernel, iterations=ITERATIONS
-    )
-    sim = run_smache(config, grid_in, iterations=ITERATIONS, kernel=kernel)
-    ok = np.allclose(sim.output, reference)
+    reference = evaluate(design, backend="reference", iterations=ITERATIONS,
+                         input_kind="random")
+    sim = evaluate(design, backend="simulate", iterations=ITERATIONS, input_kind="random")
+    predicted = evaluate(design, backend="analytic", iterations=ITERATIONS)
+    ok = np.allclose(sim.output, reference.output)
+    err = (predicted.cycles - sim.cycles) / sim.cycles
     print(f"  simulation      : {sim.cycles} cycles, matches reference: {ok}")
+    print(f"  analytic        : {predicted.cycles} cycles predicted ({err:+.2%})")
     assert ok, f"case '{name}' diverged from the reference"
     print()
 

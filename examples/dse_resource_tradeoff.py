@@ -10,16 +10,22 @@ module:
 1. sweep the register/BRAM split of the stream buffer for a 1024x1024 grid,
 2. print the Pareto front of the sweep,
 3. pick the best mapping under two different scarcity assumptions
-   (register-scarce vs BRAM-scarce), and
+   (register-scarce vs BRAM-scarce),
 4. check which mappings fit a small edge-class device once the kernel's own
-   resource budget is reserved.
+   resource budget is reserved, and
+5. run a whole-problem performance sweep through the pipeline: the full
+   candidate space is priced with the closed-form `analytic` backend and only
+   the cycles/memory Pareto front is re-run cycle-accurately.
 
 Run with:  python examples/dse_resource_tradeoff.py
 """
 
+from dataclasses import replace
+
 from repro.core.config import SmacheConfig
 from repro.dse import (
     explore_partitions,
+    explore_performance,
     minimise_bram_bits,
     minimise_registers,
     select_best,
@@ -27,6 +33,7 @@ from repro.dse import (
 from repro.dse.explorer import pareto_front
 from repro.fpga.device import small_device, stratix_v
 from repro.fpga.resources import ResourceUsage
+from repro.pipeline import StencilProblem
 
 GRID = (1024, 1024)
 
@@ -73,6 +80,23 @@ def main() -> None:
         print(f"  chosen mapping: {best_edge.label}")
         print(f"  utilisation   : {util['registers']:.1%} registers, "
               f"{util['bram_bits']:.1%} BRAM, {util['alms']:.1%} ALMs")
+
+    print("\n=== whole-problem performance sweep (analytic + Pareto re-simulation) ===")
+    base = StencilProblem.paper_example(48, 48)
+    candidates = [
+        replace(
+            base,
+            max_stream_reach=reach,
+            name=f"48x48-reach<={reach}" if reach is not None else "48x48-unconstrained",
+        )
+        for reach in (8, 16, 32, 48, 96, None)
+    ]
+    sweep = explore_performance(candidates, iterations=3)
+    print(sweep.format())
+    print(f"\n  {len(sweep.points)} candidates priced analytically, "
+          f"{sweep.simulated_count} re-simulated (the Pareto front)")
+    print(f"  selected: {sweep.selected.label} "
+          f"({sweep.selected.cycles} cycles, {sweep.selected.total_bits} bits on chip)")
 
 
 if __name__ == "__main__":

@@ -21,8 +21,7 @@ Run with:  python examples/generate_hdl.py
 
 from pathlib import Path
 
-from repro.core.config import SmacheConfig
-from repro.hdlgen import generate_project
+from repro.pipeline import StencilProblem, evaluate
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "generated"
 
@@ -31,16 +30,21 @@ def strip_comments(text: str) -> str:
     return "\n".join(line for line in text.splitlines() if not line.lstrip().startswith("//"))
 
 
+def generate_project(problem: StencilProblem):
+    """Generate the Verilog project through the pipeline's ``hdl`` backend."""
+    return evaluate(problem, backend="hdl").artifacts["project"]
+
+
 def main() -> None:
     # problem 1: the paper's validation case
-    paper = SmacheConfig.paper_example(11, 11)
+    paper = StencilProblem.paper_example(11, 11)
     # problem 2: the same stencil/boundary structure on a much larger grid
-    large = SmacheConfig.paper_example(1024, 1024)
+    large = StencilProblem.paper_example(1024, 1024)
 
-    for config, subdir in ((paper, "paper_11x11"), (large, "large_1024x1024")):
-        project = generate_project(config)
+    for problem, subdir in ((paper, "paper_11x11"), (large, "large_1024x1024")):
+        project = generate_project(problem)
         written = project.write_to(OUTPUT_DIR / subdir)
-        print(f"=== {config.name} ===")
+        print(f"=== {problem.name} ===")
         for path in written:
             print(f"  wrote {path}")
         header = project.files["smache_params.vh"]

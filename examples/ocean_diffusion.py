@@ -7,7 +7,7 @@ example is a model on a cylindrical domain — periodic east-west (the flow
 wraps around the globe), closed north-south.  This example builds exactly
 that: an explicit heat-diffusion step on a 48x96 grid, periodic in the
 *column* dimension and open in the *row* dimension, and runs it through the
-cycle-accurate Smache system.
+compilation pipeline.
 
 Note how the buffer plan changes compared with the quickstart: the periodic
 dimension is now the *fast* (contiguous) one, so the wrap-around offsets are
@@ -16,17 +16,19 @@ the stream window — no static buffers are needed.  Flipping the periodicity
 to the row dimension (the paper's case) brings the static buffers back.
 That is the "arbitrary boundaries" story of the paper in one script.
 
+The analytic backend predicts each variant's cycles and traffic before any
+clock is stepped; the cycle-accurate simulation then confirms it.
+
 Run with:  python examples/ocean_diffusion.py
 """
 
 import numpy as np
 
 from repro.core.boundary import BoundaryKind, BoundarySpec, EdgeBehaviour
-from repro.core.config import SmacheConfig
 from repro.core.grid import GridSpec
 from repro.core.stencil import StencilShape
-from repro.arch.system import run_smache, run_baseline
-from repro.reference import WeightedKernel, reference_run
+from repro.pipeline import StencilProblem, compile, evaluate
+from repro.reference import WeightedKernel
 from repro.reference.stencil_exec import make_test_grid
 
 ROWS, COLS = 48, 96
@@ -34,7 +36,7 @@ ITERATIONS = 5
 NU = 0.2  # diffusion number (stable for the explicit scheme)
 
 
-def build_config(periodic_dimension: int) -> SmacheConfig:
+def build_problem(periodic_dimension: int) -> StencilProblem:
     """A diffusion problem periodic in the given dimension, open in the other."""
     edges = [
         EdgeBehaviour.both(
@@ -42,37 +44,41 @@ def build_config(periodic_dimension: int) -> SmacheConfig:
         )
         for d in range(2)
     ]
-    return SmacheConfig(
+    return StencilProblem(
         grid=GridSpec(shape=(ROWS, COLS), word_bytes=4),
         stencil=StencilShape.five_point_2d(),
         boundary=BoundarySpec(edges=tuple(edges)),
+        kernel=WeightedKernel.diffusion_2d(nu=NU),
         name=f"ocean-periodic-dim{periodic_dimension}",
     )
 
 
 def main() -> None:
-    kernel = WeightedKernel.diffusion_2d(nu=NU)
-
     for periodic_dimension, label in ((1, "periodic east-west (fast dimension)"),
                                       (0, "periodic north-south (slow dimension)")):
-        config = build_config(periodic_dimension)
-        analysis = config.analysis()
+        design = compile(build_problem(periodic_dimension))
         print(f"=== {label} ===")
-        print(analysis.describe())
+        print(design.describe())
 
-        grid_in = make_test_grid(config.grid, kind="impulse")
-        reference = reference_run(
-            grid_in, config.grid, config.stencil, config.boundary, kernel, iterations=ITERATIONS
-        )
-        smache = run_smache(config, grid_in, iterations=ITERATIONS, kernel=kernel)
-        assert np.allclose(smache.output, reference), "Smache diverged from the reference model"
+        reference = evaluate(design, backend="reference", iterations=ITERATIONS,
+                             input_kind="impulse")
+        smache = evaluate(design, backend="simulate", iterations=ITERATIONS,
+                          input_kind="impulse")
+        assert np.allclose(smache.output, reference.output), \
+            "Smache diverged from the reference model"
 
-        baseline = run_baseline(config, grid_in, iterations=ITERATIONS, kernel=kernel)
-        assert np.allclose(baseline.output, reference)
+        baseline = evaluate(design, backend="simulate", system="baseline",
+                            iterations=ITERATIONS, input_kind="impulse")
+        assert np.allclose(baseline.output, reference.output)
+
+        predicted = evaluate(design, backend="analytic", iterations=ITERATIONS)
+        grid_in = make_test_grid(design.problem.grid, kind="impulse")
 
         print(f"  heat conserved      : {np.isclose(smache.output.sum(), grid_in.sum())}")
-        print(f"  smache cycles       : {smache.cycles}  ({smache.cycles_per_point:.2f} per point)")
-        print(f"  baseline cycles     : {baseline.cycles}  ({baseline.cycles_per_point:.2f} per point)")
+        print(f"  smache cycles       : {smache.cycles}  "
+              f"(analytic predicted {predicted.cycles}, "
+              f"{(predicted.cycles - smache.cycles) / smache.cycles:+.2%})")
+        print(f"  baseline cycles     : {baseline.cycles}")
         print(f"  DRAM traffic        : {smache.dram_traffic_kib:.1f} KiB vs "
               f"{baseline.dram_traffic_kib:.1f} KiB (baseline)")
         print(f"  traffic ratio       : {smache.dram_traffic_kib / baseline.dram_traffic_kib:.1%}")

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Quickstart: the paper's validation case end to end.
+"""Quickstart: the paper's validation case end to end, through the pipeline.
 
 This example walks the public API through the exact scenario the paper uses
 to validate Smache: an 11x11 grid, a 4-point averaging stencil, circular
@@ -7,71 +7,59 @@ boundaries at the horizontal edges and open boundaries at the vertical edges.
 
 It shows, in order:
 
-1. describing the problem (`SmacheConfig`),
-2. the static analysis and buffer plan (how many static buffers, how big a
-   window),
-3. the memory cost estimate (Table I style),
-4. cycle-accurate simulation of the Smache system and of the no-buffering
-   baseline, checked against the NumPy reference,
-5. the Figure-2 style comparison (cycles, DRAM traffic, Fmax, time, MOPS).
+1. describing the problem (`StencilProblem`),
+2. compiling it once (`repro.pipeline.compile`): static analysis, buffer
+   plan, register/BRAM partition, memory cost and synthesis estimate,
+3. evaluating the compiled design with three interchangeable backends —
+   the NumPy `reference`, the cycle-accurate `simulate` and the closed-form
+   `analytic` model — and checking they agree,
+4. the Figure-2 style comparison (cycles, DRAM traffic, Fmax, time, MOPS).
 
 Run with:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import SmacheConfig
-from repro.arch.system import run_baseline, run_smache
-from repro.fpga.synthesis import synthesize_baseline, synthesize_smache
-from repro.reference import AveragingKernel, reference_run
-from repro.reference.stencil_exec import make_test_grid
+from repro import StencilProblem, compile, evaluate
+from repro.fpga.synthesis import synthesize_baseline
 
 ITERATIONS = 20  # the paper runs 100; 20 keeps the example snappy
 
 
 def main() -> None:
     # 1. describe the problem ------------------------------------------------
-    config = SmacheConfig.paper_example(rows=11, cols=11)
+    problem = StencilProblem.paper_example(rows=11, cols=11)
     print("=== problem ===")
-    print(config.grid.describe())
-    print(f"stencil    : {config.stencil}")
-    print(f"boundaries : {config.boundary.describe()}")
+    print(problem.describe())
     print()
 
-    # 2. static analysis and buffer plan --------------------------------------
-    analysis = config.analysis()
-    print("=== static analysis ===")
-    print(analysis.describe())
+    # 2. compile once: plan, partition, cost, synthesis ------------------------
+    design = compile(problem)
+    print("=== compiled design ===")
+    print(design.describe())
     print()
 
-    # 3. memory cost estimate --------------------------------------------------
-    cost = config.cost_estimate()
-    print("=== on-chip memory estimate (hybrid stream buffer) ===")
-    for key, value in cost.as_table_row().items():
-        print(f"  {key:>7}: {value} bits")
-    print()
-
-    # 4. cycle-accurate simulation vs the NumPy reference ----------------------
-    kernel = AveragingKernel()
-    grid_in = make_test_grid(config.grid, kind="ramp")
-    reference = reference_run(
-        grid_in, config.grid, config.stencil, config.boundary, kernel, iterations=ITERATIONS
-    )
-    smache = run_smache(config, grid_in, iterations=ITERATIONS, kernel=kernel)
-    baseline = run_baseline(config, grid_in, iterations=ITERATIONS, kernel=kernel)
-    assert np.allclose(smache.output, reference), "Smache output diverged from the reference"
-    assert np.allclose(baseline.output, reference), "baseline output diverged from the reference"
-    print("=== simulation (both designs match the NumPy reference) ===")
-    print(f"  iterations          : {ITERATIONS}")
-    print(f"  smache cycles       : {smache.cycles}")
-    print(f"  baseline cycles     : {baseline.cycles}")
-    print(f"  smache DRAM traffic : {smache.dram_traffic_kib:.1f} KiB")
+    # 3. one design, three backends --------------------------------------------
+    reference = evaluate(design, backend="reference", iterations=ITERATIONS)
+    smache = evaluate(design, backend="simulate", iterations=ITERATIONS)
+    analytic = evaluate(design, backend="analytic", iterations=ITERATIONS)
+    baseline = evaluate(design, backend="simulate", system="baseline", iterations=ITERATIONS)
+    assert np.allclose(smache.output, reference.output), "Smache diverged from the reference"
+    assert np.allclose(baseline.output, reference.output), "baseline diverged from the reference"
+    cycle_error = (analytic.cycles - smache.cycles) / smache.cycles
+    print("=== evaluation (simulated outputs match the NumPy reference) ===")
+    print(f"  iterations           : {ITERATIONS}")
+    print(f"  smache cycles        : {smache.cycles} simulated, "
+          f"{analytic.cycles} analytic ({cycle_error:+.2%})")
+    print(f"  baseline cycles      : {baseline.cycles}")
+    print(f"  smache DRAM traffic  : {smache.dram_traffic_kib:.1f} KiB "
+          f"(analytic: {analytic.dram_traffic_kib:.1f} KiB)")
     print(f"  baseline DRAM traffic: {baseline.dram_traffic_kib:.1f} KiB")
     print()
 
-    # 5. Figure-2 style comparison ---------------------------------------------
-    smache_fmax = synthesize_smache(config, kernel=kernel).fmax_mhz
-    baseline_fmax = synthesize_baseline(config, kernel=kernel).fmax_mhz
+    # 4. Figure-2 style comparison ---------------------------------------------
+    smache_fmax = design.fmax_mhz
+    baseline_fmax = synthesize_baseline(design.config, kernel=problem.effective_kernel).fmax_mhz
     print("=== Figure-2 style comparison ===")
     header = f"{'':<10}{'cycles':>10}{'Fmax MHz':>10}{'KiB':>8}{'time us':>10}{'MOPS':>10}"
     print(header)

@@ -31,8 +31,14 @@ The package is organised as:
 ``repro.reference``
     NumPy golden models used to validate the simulated hardware.
 
+``repro.pipeline``
+    The compilation pipeline: a single problem spec, a memoized
+    ``compile()`` step and pluggable evaluation backends (cycle-accurate
+    simulation, NumPy reference, closed-form analytic model, cost/HDL).
+
 ``repro.dse``
-    Design-space exploration over buffer configurations.
+    Design-space exploration over buffer configurations and whole
+    problems (fast analytic sweeps with Pareto-front re-simulation).
 
 ``repro.eval``
     The experiment harness regenerating every table and figure of the
@@ -45,8 +51,24 @@ from repro.core.boundary import BoundaryKind, BoundarySpec, EdgeBehaviour
 from repro.core.config import SmacheConfig, StreamBufferMode
 from repro.core.planner import plan_buffers
 from repro.core.cost_model import MemoryCostEstimate, estimate_memory_cost
+from repro.pipeline import (
+    CompiledDesign,
+    EvaluationRequest,
+    EvaluationResult,
+    StencilProblem,
+    compile,
+    evaluate,
+    evaluate_batch,
+)
 
 __all__ = [
+    "CompiledDesign",
+    "EvaluationRequest",
+    "EvaluationResult",
+    "StencilProblem",
+    "compile",
+    "evaluate",
+    "evaluate_batch",
     "GridSpec",
     "IterationPattern",
     "StencilShape",

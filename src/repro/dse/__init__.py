@@ -16,12 +16,27 @@ from repro.dse.objectives import (
     minimise_total_memory_bits,
     weighted_balance,
 )
-from repro.dse.explorer import DesignPoint, explore_partitions, explore_grid_sizes, select_best
+from repro.dse.explorer import (
+    DesignPoint,
+    PerformancePoint,
+    PerformanceSweep,
+    explore_grid_sizes,
+    explore_partitions,
+    explore_performance,
+    pareto_front,
+    performance_pareto_front,
+    select_best,
+)
 
 __all__ = [
     "DesignPoint",
+    "PerformancePoint",
+    "PerformanceSweep",
     "explore_partitions",
     "explore_grid_sizes",
+    "explore_performance",
+    "pareto_front",
+    "performance_pareto_front",
     "select_best",
     "minimise_bram_bits",
     "minimise_registers",

@@ -1,15 +1,26 @@
-"""Exploration of the register/BRAM mapping space for the stream buffer.
+"""Exploration of the Smache design space.
 
-The explored axis is the paper's hybridisation knob: how many of the stream
-buffer's window slots are registers (from the minimal Case-H point, where only
-the stencil taps are registers, to the Case-R extreme, where the whole window
-is).  Each candidate is priced with the cost model and the synthesis
-estimator, and checked against a device's remaining resources.
+Two axes are explored:
+
+* the paper's hybridisation knob — how many of the stream buffer's window
+  slots are registers (from the minimal Case-H point, where only the stencil
+  taps are registers, to the Case-R extreme, where the whole window is), each
+  candidate priced with the cost model and the synthesis estimator and checked
+  against a device's remaining resources;
+* whole problems — :func:`explore_performance` prices a set of candidate
+  problems with the pipeline's ``analytic`` backend (closed-form cycles and
+  traffic), keeps the cycles/memory Pareto front, and re-runs only the front
+  through the cycle-accurate ``simulate`` backend.  Broad sweeps therefore
+  cost microseconds per point instead of seconds, without trusting the fast
+  path blindly.
+
+All plans are obtained through :func:`repro.pipeline.compile`, so repeated
+sweeps over the same problems hit the shared plan cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.buffers import BufferPlan
@@ -24,6 +35,10 @@ from repro.core.partition import (
 from repro.fpga.device import FPGADevice
 from repro.fpga.resources import ResourceUsage
 from repro.fpga.synthesis import SynthesisReport, synthesize_smache
+from repro.memory.dram import DRAMTiming
+from repro.pipeline.backends import EvaluationRequest, EvaluationResult, evaluate
+from repro.pipeline.compile import CompiledDesign, compile as compile_problem
+from repro.pipeline.problem import StencilProblem
 
 
 @dataclass(frozen=True)
@@ -90,7 +105,7 @@ def explore_partitions(
         device before the feasibility check.
     """
     reserved = reserved or ResourceUsage()
-    plan = config.plan()
+    plan = compile_problem(StencilProblem.from_config(config)).plan
     n_taps = len([o for o in plan.lookup_offsets() if o != 0])
     depth = plan.stream.depth
     lo = min(depth, hybrid_register_slots(n_taps))
@@ -130,9 +145,8 @@ def explore_grid_sizes(
             mode=mode,
             name=f"{config.name}-{'x'.join(str(s) for s in shape)}",
         )
-        plan = cfg.plan()
-        partition = cfg.partition(plan)
-        points.append(_make_point(cfg, plan, partition, device, reserved))
+        design = compile_problem(StencilProblem.from_config(cfg))
+        points.append(_make_point(cfg, design.plan, design.partition, device, reserved))
     return points
 
 
@@ -146,6 +160,141 @@ def select_best(
     if not candidates:
         return None
     return min(candidates, key=objective)
+
+
+# --------------------------------------------------------------------------- #
+# performance sweeps through the pipeline backends
+# --------------------------------------------------------------------------- #
+@dataclass
+class PerformancePoint:
+    """One problem of a performance sweep, priced fast and optionally verified."""
+
+    design: CompiledDesign
+    predicted: EvaluationResult
+    simulated: Optional[EvaluationResult] = None
+
+    @property
+    def label(self) -> str:
+        """The problem's name."""
+        return self.design.problem.name
+
+    @property
+    def predicted_cycles(self) -> int:
+        """Cycle count from the sweep backend (analytic for fast sweeps)."""
+        return self.predicted.cycles
+
+    @property
+    def cycles(self) -> int:
+        """Best available cycle count: simulated when verified, else predicted."""
+        return self.simulated.cycles if self.simulated is not None else self.predicted.cycles
+
+    @property
+    def total_bits(self) -> int:
+        """Estimated on-chip memory of the design."""
+        return self.design.total_memory_bits
+
+
+#: Objective over performance points; smaller is better.
+PerformanceObjective = Callable[[PerformancePoint], Tuple]
+
+
+def _default_performance_objective(point: PerformancePoint) -> Tuple:
+    """Fewest cycles, then least on-chip memory."""
+    return (point.cycles, point.total_bits)
+
+
+def performance_pareto_front(points: Sequence[PerformancePoint]) -> List[PerformancePoint]:
+    """The cycles / on-chip-memory Pareto front of a performance sweep."""
+    front = []
+    for p in points:
+        dominated = any(
+            q is not p
+            and q.predicted_cycles <= p.predicted_cycles
+            and q.total_bits <= p.total_bits
+            and (q.predicted_cycles < p.predicted_cycles or q.total_bits < p.total_bits)
+            for q in points
+        )
+        if not dominated:
+            front.append(p)
+    return front
+
+
+@dataclass
+class PerformanceSweep:
+    """Outcome of :func:`explore_performance`."""
+
+    points: List[PerformancePoint] = field(default_factory=list)
+    front: List[PerformancePoint] = field(default_factory=list)
+    selected: Optional[PerformancePoint] = None
+    backend: str = "analytic"
+    simulated_count: int = 0
+
+    def format(self) -> str:
+        """Text table of the sweep (used by examples and benchmarks)."""
+        lines = [
+            f"{'problem':<28}{'cycles':>10}{'sim cycles':>12}{'memory bits':>14}"
+            f"{'front':>7}{'chosen':>8}"
+        ]
+        front = set(id(p) for p in self.front)
+        for p in self.points:
+            sim = p.simulated.cycles if p.simulated is not None else "-"
+            lines.append(
+                f"{p.label:<28}{p.predicted_cycles:>10}{sim:>12}{p.total_bits:>14}"
+                f"{'*' if id(p) in front else '':>7}"
+                f"{'<==' if p is self.selected else '':>8}"
+            )
+        return "\n".join(lines)
+
+
+def explore_performance(
+    problems: Sequence[StencilProblem],
+    iterations: int = 1,
+    objective: Optional[PerformanceObjective] = None,
+    timing: Optional[DRAMTiming] = None,
+    backend: str = "analytic",
+    simulate_front: bool = True,
+) -> PerformanceSweep:
+    """Sweep whole problems: fast pricing, Pareto front, selective verification.
+
+    Every problem is compiled (memoized) and priced with ``backend`` — the
+    closed-form ``analytic`` model by default, so the full space costs
+    microseconds per point.  The cycles/memory Pareto front is then re-run
+    through the cycle-accurate ``simulate`` backend (unless ``simulate_front``
+    is off or the sweep already simulated everything), and the ``objective``
+    picks the winner from the front using the verified numbers.
+    """
+    if not problems:
+        raise ValueError("explore_performance needs at least one problem")
+    objective = objective or _default_performance_objective
+    request = EvaluationRequest(iterations=iterations, dram_timing=timing)
+    points = []
+    for p in problems:
+        design = compile_problem(p)
+        predicted = evaluate(design, backend=backend, request=request)
+        if predicted.cycles is None:
+            raise ValueError(
+                f"backend {backend!r} produces no cycle count; a performance "
+                "sweep needs a timing backend such as 'analytic' or 'simulate'"
+            )
+        points.append(PerformancePoint(design=design, predicted=predicted))
+    front = performance_pareto_front(points)
+    simulated_count = 0
+    if backend == "simulate":
+        for p in points:
+            p.simulated = p.predicted
+        simulated_count = len(points)
+    elif simulate_front:
+        for p in front:
+            p.simulated = evaluate(p.design, backend="simulate", request=request)
+            simulated_count += 1
+    selected = min(front, key=objective) if front else None
+    return PerformanceSweep(
+        points=points,
+        front=front,
+        selected=selected,
+        backend=backend,
+        simulated_count=simulated_count,
+    )
 
 
 def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:

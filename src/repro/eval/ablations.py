@@ -19,13 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from repro.arch.system import BaselineSystem, SmacheSystem
-from repro.core.config import SmacheConfig
-from repro.core.planner import paper_algorithm1, plan_buffers
-from repro.core.ranges import partition_into_ranges
+from repro.core.planner import paper_algorithm1
 from repro.memory.dram import DRAMTiming
-from repro.reference.kernels import AveragingKernel
-from repro.reference.stencil_exec import make_test_grid
+from repro.pipeline import EvaluationRequest, StencilProblem, compile, evaluate
 from repro.utils.tables import format_table
 
 
@@ -80,16 +76,15 @@ def run_write_through_ablation(
     rows: int = 11, cols: int = 11, iterations: int = 20
 ) -> WriteThroughAblation:
     """Run the Smache system with and without write-through."""
-    config = SmacheConfig.paper_example(rows, cols)
-    kernel = AveragingKernel()
-    grid_in = make_test_grid(config.grid, kind="ramp")
+    design = compile(StencilProblem.paper_example(rows, cols))
     results = {}
     for key, write_through in (("with", True), ("without", False)):
-        system = SmacheSystem(
-            config, kernel=kernel, iterations=iterations, write_through=write_through
+        sim = evaluate(
+            design,
+            backend="simulate",
+            iterations=iterations,
+            write_through=write_through,
         )
-        system.load_input(grid_in)
-        sim = system.run()
         results[key] = {"cycles": float(sim.cycles), "dram_bytes": float(sim.dram_bytes)}
     return WriteThroughAblation(
         with_write_through=results["with"], without_write_through=results["without"]
@@ -135,19 +130,20 @@ def run_dram_penalty_ablation(
     iterations: int = 10,
 ) -> DramPenaltyAblation:
     """Sweep the extra cost of non-burst DRAM accesses for both designs."""
-    config = SmacheConfig.paper_example(rows, cols)
-    kernel = AveragingKernel()
-    grid_in = make_test_grid(config.grid, kind="ramp")
+    design = compile(StencilProblem.paper_example(rows, cols))
     result = DramPenaltyAblation()
     for penalty in penalties:
-        timing = DRAMTiming(random_access_cycles=1 + penalty)
-        baseline = BaselineSystem(config, kernel=kernel, iterations=iterations, dram_timing=timing)
-        baseline.load_input(grid_in)
-        smache = SmacheSystem(config, kernel=kernel, iterations=iterations, dram_timing=timing)
-        smache.load_input(grid_in)
+        request = EvaluationRequest(
+            iterations=iterations,
+            dram_timing=DRAMTiming(random_access_cycles=1 + penalty),
+        )
         result.penalties.append(penalty)
-        result.baseline_cycles.append(baseline.run().cycles)
-        result.smache_cycles.append(smache.run().cycles)
+        result.baseline_cycles.append(
+            evaluate(design, backend="simulate", request=request, system="baseline").cycles
+        )
+        result.smache_cycles.append(
+            evaluate(design, backend="simulate", request=request).cycles
+        )
     return result
 
 
@@ -193,16 +189,13 @@ def run_planner_ablation(
     """Compare buffer sizes for three planning strategies across grid sizes."""
     result = PlannerAblation()
     for shape in grid_sizes:
-        config = SmacheConfig.paper_example(shape[0], shape[1])
-        ranges = partition_into_ranges(config.grid, config.stencil, config.boundary)
+        design = compile(StencilProblem.paper_example(shape[0], shape[1]))
         # Stream-only: a single window wide enough to serve every offset of
         # every range without static buffers (the full circular span).
-        offsets = [o for r in ranges for o in r.stream_offsets]
+        offsets = [o for r in design.ranges for o in r.stream_offsets]
         stream_only = max(offsets) - min(offsets)
-        algo1 = paper_algorithm1(ranges).total_elements
-        plan = plan_buffers(config.grid, config.stencil, config.boundary)
         result.grid_sizes.append(tuple(shape))
         result.stream_only_elements.append(stream_only)
-        result.algorithm1_elements.append(algo1)
-        result.planner_elements.append(plan.total_cost_elements)
+        result.algorithm1_elements.append(paper_algorithm1(design.ranges).total_elements)
+        result.planner_elements.append(design.plan.total_cost_elements)
     return result

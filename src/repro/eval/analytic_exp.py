@@ -1,0 +1,123 @@
+"""Experiment E5 — analytic model vs cycle-accurate simulation.
+
+The pipeline's ``analytic`` backend predicts cycle counts, DRAM traffic and
+operation counts in closed form (no clock stepping).  This experiment keeps
+the fast path honest: it cross-validates the two backends on a set of
+representative configurations via
+:func:`repro.pipeline.analytic.validate_prediction` — the same ReFrame-style
+reference-band check the test-suite asserts — and reports, per metric, the
+simulated value, the predicted value, the relative error (which must stay
+inside :data:`repro.pipeline.analytic.ANALYTIC_TOLERANCE`) and the
+wall-clock speed-up of prediction over simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.boundary import BoundarySpec
+from repro.core.grid import GridSpec
+from repro.core.stencil import StencilShape
+from repro.pipeline import (
+    ANALYTIC_TOLERANCE,
+    StencilProblem,
+    ValidationReport,
+    compile,
+    validate_prediction,
+)
+from repro.utils.tables import format_table
+
+
+@dataclass
+class AnalyticCheckRow:
+    """One configuration/system pair: a labelled validation report."""
+
+    label: str
+    report: ValidationReport
+
+    @property
+    def cycle_error(self) -> float:
+        """Signed relative cycle error of the prediction."""
+        return self.report.errors["cycles"]
+
+    @property
+    def counts_exact(self) -> bool:
+        """True when DRAM word counts and operations match exactly."""
+        return all(
+            self.report.bands[m].contains(self.report.predicted[m])
+            for m in ("dram_words_read", "dram_words_written", "operations")
+        )
+
+
+@dataclass
+class AnalyticCheckResult:
+    """All rows of the analytic-vs-simulation comparison."""
+
+    rows: List[AnalyticCheckRow] = field(default_factory=list)
+    tolerance: float = ANALYTIC_TOLERANCE
+
+    @property
+    def worst_cycle_error(self) -> float:
+        """Largest absolute relative cycle error across the rows."""
+        return max((abs(r.cycle_error) for r in self.rows), default=0.0)
+
+    @property
+    def all_within_tolerance(self) -> bool:
+        """True when every row passes its full validation report."""
+        return all(r.report.ok for r in self.rows)
+
+    def format(self) -> str:
+        """Text table of the cross-validation."""
+        headers = [
+            "config", "system", "iters", "sim cycles", "analytic", "error",
+            "counts", "speedup",
+        ]
+        body = [
+            [
+                r.label,
+                r.report.system,
+                r.report.iterations,
+                int(r.report.bands["cycles"].value),
+                int(r.report.predicted["cycles"]),
+                f"{r.cycle_error:+.2%}",
+                "exact" if r.counts_exact else "MISMATCH",
+                f"{r.report.speedup:.0f}x",
+            ]
+            for r in self.rows
+        ]
+        summary = (
+            f"worst cycle error: {self.worst_cycle_error:.2%} "
+            f"(tolerance {self.tolerance:.0%}); "
+            f"all within tolerance: {self.all_within_tolerance}"
+        )
+        return (
+            format_table(headers, body, title="E5 — analytic model vs simulation")
+            + "\n"
+            + summary
+        )
+
+
+def _check_cases() -> List[Tuple[str, StencilProblem, int]]:
+    """The validated configurations: the paper's case plus an asymmetric one."""
+    asymmetric = StencilProblem(
+        grid=GridSpec(shape=(20, 24), word_bytes=4),
+        stencil=StencilShape.asymmetric_2d(),
+        boundary=BoundarySpec.paper_2d(),
+        name="asym-20x24",
+    )
+    return [
+        ("paper-11x11", StencilProblem.paper_example(), 30),
+        ("asym-20x24", asymmetric, 5),
+    ]
+
+
+def run_analytic_check() -> AnalyticCheckResult:
+    """Cross-validate the analytic backend against the simulator."""
+    result = AnalyticCheckResult()
+    for label, problem, iterations in _check_cases():
+        design = compile(problem)
+        for system in ("smache", "baseline"):
+            report = validate_prediction(design, system=system, iterations=iterations)
+            result.rows.append(AnalyticCheckRow(label=label, report=report))
+    return result

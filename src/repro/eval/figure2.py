@@ -13,12 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.arch.system import SimulationResult, run_baseline, run_smache
-from repro.core.config import SmacheConfig
+from repro.arch.system import SimulationResult
 from repro.eval.paper_constants import PAPER_FIGURE2, PAPER_FIGURE2_SETUP, relative_error
-from repro.fpga.synthesis import synthesize_baseline, synthesize_smache
-from repro.reference.kernels import AveragingKernel
-from repro.reference.stencil_exec import make_test_grid
+from repro.fpga.synthesis import synthesize_baseline
+from repro.pipeline import EvaluationRequest, StencilProblem, compile, evaluate
 from repro.utils.tables import format_table
 
 #: The columns of Figure 2, in the paper's order.
@@ -151,17 +149,21 @@ def run_figure2(
     """Run the Figure 2 experiment and return both rows.
 
     ``rows``/``cols``/``iterations`` default to the paper's setup; smaller
-    values are used by the fast test-suite configuration.
+    values are used by the fast test-suite configuration.  Both designs go
+    through the compilation pipeline: the problem is compiled (and cached)
+    once, then evaluated with the cycle-accurate ``simulate`` backend.
     """
-    config = SmacheConfig.paper_example(rows, cols)
-    kernel = AveragingKernel()
-    grid_in = make_test_grid(config.grid, kind="ramp")
+    problem = StencilProblem.paper_example(rows, cols)
+    design = compile(problem)
+    request = EvaluationRequest(iterations=iterations)
 
-    baseline_sim = run_baseline(config, grid_in, iterations=iterations, kernel=kernel)
-    smache_sim = run_smache(config, grid_in, iterations=iterations, kernel=kernel)
+    baseline_sim = evaluate(
+        design, backend="simulate", request=request, system="baseline"
+    ).artifacts["simulation"]
+    smache_sim = evaluate(design, backend="simulate", request=request).artifacts["simulation"]
 
-    baseline_syn = synthesize_baseline(config, kernel=kernel)
-    smache_syn = synthesize_smache(config, kernel=kernel)
+    baseline_syn = synthesize_baseline(design.config, kernel=problem.effective_kernel)
+    smache_syn = design.synthesis
 
     def make_row(design: str, sim: SimulationResult, fmax: float) -> Figure2Row:
         return Figure2Row(

@@ -17,6 +17,7 @@ from repro.eval.ablations import (
     run_planner_ablation,
     run_write_through_ablation,
 )
+from repro.eval.analytic_exp import run_analytic_check
 from repro.eval.figure2 import run_figure2
 from repro.eval.resources_exp import run_hybrid_tradeoff, run_resources
 from repro.eval.table1 import run_table1
@@ -59,6 +60,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table1": lambda: run_table1().format(),
     "resources": lambda: run_resources().format(),
     "hybrid": lambda: run_hybrid_tradeoff().format(),
+    "analytic": lambda: run_analytic_check().format(),
     "ablation-writethrough": lambda: run_write_through_ablation().format(),
     "ablation-dram": lambda: run_dram_penalty_ablation().format(),
     "ablation-planner": lambda: run_planner_ablation().format(),
@@ -69,6 +71,7 @@ TITLES: Dict[str, str] = {
     "table1": "E2 / Table I — estimated vs actual on-chip memory",
     "resources": "E3 — whole-design resource utilisation (baseline vs Smache)",
     "hybrid": "E4 — 1M-element register/BRAM trade-off (Case-R vs Case-H)",
+    "analytic": "E5 — analytic performance model vs cycle-accurate simulation",
     "ablation-writethrough": "A1 — write-through / double-buffering ablation",
     "ablation-dram": "A2 — DRAM random-access penalty sensitivity",
     "ablation-planner": "A3 — planner benefit across grid sizes",

@@ -19,7 +19,8 @@ from typing import Dict
 from repro.core.config import SmacheConfig
 from repro.core.partition import StreamBufferMode
 from repro.eval.paper_constants import PAPER_HYBRID_TRADEOFF, PAPER_RESOURCES, relative_error
-from repro.fpga.synthesis import SynthesisReport, synthesize_baseline, synthesize_smache
+from repro.fpga.synthesis import SynthesisReport, synthesize_baseline
+from repro.pipeline import StencilProblem, compile
 from repro.utils.tables import format_table
 
 
@@ -81,7 +82,7 @@ def run_resources(rows: int = 11, cols: int = 11) -> ResourceComparison:
     smache_cfg = SmacheConfig.paper_example(rows, cols, mode=StreamBufferMode.REGISTER_ONLY)
     return ResourceComparison(
         baseline=synthesize_baseline(baseline_cfg),
-        smache=synthesize_smache(smache_cfg),
+        smache=compile(StencilProblem.from_config(smache_cfg)).synthesis,
     )
 
 
@@ -123,7 +124,7 @@ def run_hybrid_tradeoff(rows: int = 1024, cols: int = 1024) -> HybridTradeoffRes
         ("hybrid", StreamBufferMode.HYBRID),
     ):
         config = SmacheConfig.paper_example(rows, cols, mode=mode)
-        cost = config.cost_estimate()
+        cost = compile(StencilProblem.from_config(config)).cost
         results[key] = {
             "registers": cost.r_total_bits,
             "bram_bits": cost.b_total_bits,

@@ -16,7 +16,7 @@ from typing import Dict, List, Tuple
 from repro.core.config import SmacheConfig
 from repro.core.partition import StreamBufferMode
 from repro.eval.paper_constants import PAPER_TABLE1, relative_error
-from repro.fpga.synthesis import synthesize_smache
+from repro.pipeline import StencilProblem, compile
 from repro.utils.tables import format_table
 
 #: Table I columns, in the paper's order.
@@ -89,9 +89,9 @@ def run_table1() -> Table1Result:
     result = Table1Result()
     for problem, shape, mode in TABLE1_PROBLEMS:
         config = SmacheConfig.paper_example(shape[0], shape[1], mode=mode)
-        plan = config.plan()
-        estimate = config.cost_estimate(plan)
-        synthesis = synthesize_smache(config, plan=plan)
+        design = compile(StencilProblem.from_config(config))
+        estimate = design.cost
+        synthesis = design.synthesis
         mode_key = "r" if mode is StreamBufferMode.REGISTER_ONLY else "h"
         paper = PAPER_TABLE1[(problem, mode_key)]
         result.rows.append(

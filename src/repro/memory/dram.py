@@ -34,6 +34,11 @@ from repro.sim.channel import Channel
 from repro.sim.engine import Component, Simulator
 from repro.utils.validation import check_non_negative, check_positive
 
+#: Default depth of the in-flight read window (response re-ordering buffer).
+#: The analytic performance model mirrors this limit when predicting stream
+#: throughput, so keep the two in sync through this constant.
+DEFAULT_RESPONSE_CAPACITY = 8
+
 
 @dataclass(frozen=True)
 class DRAMTiming:
@@ -110,7 +115,7 @@ class DRAMModel(Component):
         timing: Optional[DRAMTiming] = None,
         shared_bus: bool = False,
         read_cmd_capacity: int = 4,
-        response_capacity: int = 8,
+        response_capacity: int = DEFAULT_RESPONSE_CAPACITY,
     ) -> None:
         super().__init__(sim, name)
         check_positive("size_words", size_words)

@@ -1,0 +1,352 @@
+"""Pluggable evaluation backends over compiled designs.
+
+A :class:`Backend` turns a :class:`~repro.pipeline.compile.CompiledDesign`
+plus an :class:`EvaluationRequest` into an :class:`EvaluationResult`.  All
+backends share one result shape so consumers (eval harness, DSE sweeps,
+benchmarks) can switch fidelity with a string:
+
+* ``simulate``  — the cycle-accurate systems of :mod:`repro.arch.system`;
+* ``reference`` — NumPy golden execution (output values, no timing);
+* ``analytic``  — the closed-form model of :mod:`repro.pipeline.analytic`;
+* ``cost``      — memory cost estimate and synthesis report only;
+* ``hdl``       — the generated Verilog project of :mod:`repro.hdlgen`.
+
+New backends register with :func:`register_backend`; workloads plug in at the
+:class:`~repro.pipeline.problem.StencilProblem` seam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import SmacheConfig
+from repro.memory.dram import DRAMTiming
+from repro.reference.kernels import StencilKernel
+from repro.reference.stencil_exec import make_test_grid, reference_run
+from repro.pipeline.cache import PlanCache, plan_cache
+from repro.pipeline.compile import CompiledDesign
+from repro.pipeline.compile import compile as compile_problem
+from repro.pipeline.problem import StencilProblem
+
+#: The two systems an evaluation can target.
+SYSTEMS = ("smache", "baseline")
+
+
+@dataclass(frozen=True)
+class EvaluationRequest:
+    """What to run a compiled design on (workload, fidelity knobs)."""
+
+    system: str = "smache"
+    iterations: int = 1
+    kernel: Optional[StencilKernel] = None
+    input_grid: Optional[np.ndarray] = field(default=None, compare=False)
+    input_kind: str = "ramp"
+    dram_timing: Optional[DRAMTiming] = None
+    write_through: bool = True
+    max_cycles: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEMS:
+            raise ValueError(f"unknown system {self.system!r}; expected one of {SYSTEMS}")
+        if self.iterations < 0:
+            raise ValueError("iterations must be non-negative")
+
+    def resolve_kernel(self, design: CompiledDesign) -> StencilKernel:
+        """The kernel to run: the request's override or the problem's own."""
+        return self.kernel if self.kernel is not None else design.problem.effective_kernel
+
+    def resolve_input(self, design: CompiledDesign) -> np.ndarray:
+        """The input grid: the request's array or a deterministic test grid."""
+        if self.input_grid is not None:
+            return np.asarray(self.input_grid, dtype=np.float64)
+        return make_test_grid(design.problem.grid, kind=self.input_kind)
+
+
+@dataclass
+class EvaluationResult:
+    """One backend's verdict on one compiled design.
+
+    Timing fields are ``None`` for backends that do not produce them (the
+    ``reference`` backend has no clock; ``cost``/``hdl`` have no workload).
+    """
+
+    backend: str
+    system: str
+    design: CompiledDesign
+    iterations: int = 0
+    cycles: Optional[int] = None
+    dram_words_read: Optional[int] = None
+    dram_words_written: Optional[int] = None
+    dram_bytes: Optional[int] = None
+    operations: Optional[int] = None
+    output: Optional[np.ndarray] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+    artifacts: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def dram_traffic_kib(self) -> Optional[float]:
+        """Total DRAM traffic in KiB (``None`` for workload-free backends)."""
+        return self.dram_bytes / 1024.0 if self.dram_bytes is not None else None
+
+    def execution_time_us(self, frequency_mhz: Optional[float] = None) -> float:
+        """Execution time in microseconds (defaults to the design's Fmax)."""
+        if self.cycles is None:
+            raise ValueError(f"backend {self.backend!r} produced no cycle count")
+        fmax = frequency_mhz if frequency_mhz is not None else self.design.fmax_mhz
+        if fmax <= 0:
+            raise ValueError("frequency must be positive")
+        return self.cycles / fmax
+
+    def mops(self, frequency_mhz: Optional[float] = None) -> float:
+        """Millions of kernel operations per second."""
+        time_us = self.execution_time_us(frequency_mhz)
+        if not time_us or self.operations is None:
+            return 0.0
+        return self.operations / time_us
+
+
+class Backend:
+    """Base class: evaluate a compiled design under a request."""
+
+    #: Registry name; subclasses must override.
+    name: str = "abstract"
+
+    def evaluate(self, design: CompiledDesign, request: EvaluationRequest) -> EvaluationResult:
+        """Produce an :class:`EvaluationResult` (must be overridden)."""
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+_BACKENDS: Dict[str, Callable[[], Backend]] = {}
+_INSTANCES: Dict[str, Backend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register (or replace) a backend under ``name``."""
+    _BACKENDS[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend instance by name."""
+    if name not in _BACKENDS:
+        raise KeyError(f"unknown backend {name!r}; choose from {available_backends()}")
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _BACKENDS[name]()
+    return _INSTANCES[name]
+
+
+def available_backends() -> List[str]:
+    """Names of every registered backend, sorted."""
+    return sorted(_BACKENDS)
+
+
+# --------------------------------------------------------------------------- #
+# built-in backends
+# --------------------------------------------------------------------------- #
+class SimulateBackend(Backend):
+    """Cycle-accurate simulation of the Smache or baseline system."""
+
+    name = "simulate"
+
+    def evaluate(self, design: CompiledDesign, request: EvaluationRequest) -> EvaluationResult:
+        from repro.arch.system import BaselineSystem, SmacheSystem
+
+        kernel = request.resolve_kernel(design)
+        grid_in = request.resolve_input(design)
+        if request.system == "smache":
+            system = SmacheSystem(
+                design.config,
+                kernel=kernel,
+                iterations=request.iterations,
+                dram_timing=request.dram_timing,
+                plan=design.plan,
+                partition=design.partition,
+                write_through=request.write_through,
+            )
+            default_max = 50_000_000
+        else:
+            system = BaselineSystem(
+                design.config,
+                kernel=kernel,
+                iterations=request.iterations,
+                dram_timing=request.dram_timing,
+            )
+            default_max = 100_000_000
+        system.load_input(grid_in)
+        sim = system.run(max_cycles=request.max_cycles or default_max)
+        return EvaluationResult(
+            backend=self.name,
+            system=request.system,
+            design=design,
+            iterations=request.iterations,
+            cycles=sim.cycles,
+            dram_words_read=sim.dram_words_read,
+            dram_words_written=sim.dram_words_written,
+            dram_bytes=sim.dram_bytes,
+            operations=sim.operations,
+            output=sim.output,
+            extra=dict(sim.extra),
+            artifacts={"simulation": sim},
+        )
+
+
+class ReferenceBackend(Backend):
+    """NumPy golden execution: exact output values, no timing."""
+
+    name = "reference"
+
+    def evaluate(self, design: CompiledDesign, request: EvaluationRequest) -> EvaluationResult:
+        problem = design.problem
+        kernel = request.resolve_kernel(design)
+        output = reference_run(
+            request.resolve_input(design),
+            problem.grid,
+            problem.stencil,
+            problem.boundary,
+            kernel,
+            iterations=request.iterations,
+        )
+        return EvaluationResult(
+            backend=self.name,
+            system=request.system,
+            design=design,
+            iterations=request.iterations,
+            operations=kernel.ops_per_point * problem.grid.size * request.iterations,
+            output=output,
+        )
+
+
+class AnalyticBackend(Backend):
+    """Closed-form performance prediction (no clock, no output grid)."""
+
+    name = "analytic"
+
+    def evaluate(self, design: CompiledDesign, request: EvaluationRequest) -> EvaluationResult:
+        from repro.pipeline.analytic import predict_performance
+
+        prediction = predict_performance(
+            design,
+            system=request.system,
+            iterations=request.iterations,
+            kernel=request.resolve_kernel(design),
+            timing=request.dram_timing,
+            write_through=request.write_through,
+        )
+        return EvaluationResult(
+            backend=self.name,
+            system=request.system,
+            design=design,
+            iterations=request.iterations,
+            cycles=prediction.cycles,
+            dram_words_read=prediction.dram_words_read,
+            dram_words_written=prediction.dram_words_written,
+            dram_bytes=prediction.dram_bytes,
+            operations=prediction.operations,
+            extra=dict(prediction.detail),
+            artifacts={"prediction": prediction},
+        )
+
+
+class CostBackend(Backend):
+    """Memory cost estimate and synthesis report, no workload execution."""
+
+    name = "cost"
+
+    def evaluate(self, design: CompiledDesign, request: EvaluationRequest) -> EvaluationResult:
+        return EvaluationResult(
+            backend=self.name,
+            system=request.system,
+            design=design,
+            extra={
+                "r_total_bits": design.cost.r_total_bits,
+                "b_total_bits": design.cost.b_total_bits,
+                "total_bits": design.cost.total_bits,
+                "fmax_mhz": design.synthesis.fmax_mhz,
+                "alms": design.synthesis.alms,
+                "registers": design.synthesis.registers,
+                "bram_bits": design.synthesis.bram_bits,
+            },
+            artifacts={"cost": design.cost, "synthesis": design.synthesis},
+        )
+
+
+class HdlBackend(Backend):
+    """Verilog skeleton generation for the compiled design."""
+
+    name = "hdl"
+
+    def evaluate(self, design: CompiledDesign, request: EvaluationRequest) -> EvaluationResult:
+        from repro.hdlgen import generate_project
+
+        project = generate_project(design.config)
+        return EvaluationResult(
+            backend=self.name,
+            system=request.system,
+            design=design,
+            extra={"n_files": len(project.files)},
+            artifacts={"project": project},
+        )
+
+
+for _backend_cls in (SimulateBackend, ReferenceBackend, AnalyticBackend, CostBackend, HdlBackend):
+    register_backend(_backend_cls.name, _backend_cls)
+
+
+# --------------------------------------------------------------------------- #
+# facade
+# --------------------------------------------------------------------------- #
+ProblemLike = Union[StencilProblem, SmacheConfig, CompiledDesign]
+
+
+def _as_design(problem: ProblemLike, cache: Optional[PlanCache]) -> CompiledDesign:
+    if isinstance(problem, CompiledDesign):
+        return problem
+    if isinstance(problem, SmacheConfig):
+        problem = StencilProblem.from_config(problem)
+    return compile_problem(problem, cache=cache)
+
+
+def evaluate(
+    problem: ProblemLike,
+    backend: str = "simulate",
+    request: Optional[EvaluationRequest] = None,
+    cache: Optional[PlanCache] = plan_cache,
+    **request_overrides,
+) -> EvaluationResult:
+    """Compile (memoized) and evaluate one problem with the named backend.
+
+    ``problem`` may be a :class:`StencilProblem`, a plain
+    :class:`SmacheConfig` or an already-compiled design.  Request fields are
+    given either as a full :class:`EvaluationRequest` or as keyword overrides
+    (``iterations=100``, ``system="baseline"``, ...).
+    """
+    design = _as_design(problem, cache)
+    req = request or EvaluationRequest()
+    if request_overrides:
+        req = replace(req, **request_overrides)
+    return get_backend(backend).evaluate(design, req)
+
+
+def evaluate_batch(
+    problems: Sequence[ProblemLike],
+    backend: str = "analytic",
+    request: Optional[EvaluationRequest] = None,
+    cache: Optional[PlanCache] = plan_cache,
+    **request_overrides,
+) -> List[EvaluationResult]:
+    """Evaluate many problems with one backend (the sweep entry point).
+
+    Defaults to the ``analytic`` backend: sweeps price the full space with the
+    closed-form model and re-simulate only the designs that matter (see
+    :func:`repro.dse.explorer.explore_performance`).
+    """
+    return [
+        evaluate(p, backend=backend, request=request, cache=cache, **request_overrides)
+        for p in problems
+    ]

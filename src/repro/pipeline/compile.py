@@ -1,0 +1,128 @@
+"""``compile()``: from a stencil problem to a fully planned, priced design.
+
+This is the single seam every consumer goes through.  One call runs
+
+1. range partitioning (:func:`repro.core.ranges.partition_into_ranges`),
+2. the buffer-configuration planner (:func:`repro.core.planner.plan_buffers`),
+3. the hybrid register/BRAM partition (:func:`repro.core.partition`),
+4. the Table-I memory cost model (:func:`repro.core.cost_model`), and
+5. the analytical synthesis estimator (:func:`repro.fpga.synthesis`),
+
+and memoizes the resulting :class:`CompiledDesign` in the keyed plan cache,
+so sweeps re-planning the same problem are free after the first hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.core.buffers import BufferPlan
+from repro.core.config import SmacheConfig
+from repro.core.cost_model import MemoryCostEstimate, estimate_memory_cost
+from repro.core.partition import HybridPartition, partition_for_plan
+from repro.core.planner import plan_buffers
+from repro.core.ranges import StreamRange, classify_cases, partition_into_ranges
+from repro.fpga.synthesis import SynthesisReport, synthesize_smache
+from repro.pipeline.cache import PlanCache, plan_cache
+from repro.pipeline.problem import StencilProblem
+
+
+@dataclass(frozen=True)
+class CompiledDesign:
+    """Everything derived from one problem: plan, partition, cost, synthesis."""
+
+    problem: StencilProblem
+    config: SmacheConfig
+    ranges: Tuple[StreamRange, ...]
+    n_cases: int
+    plan: BufferPlan
+    partition: HybridPartition
+    cost: MemoryCostEstimate
+    synthesis: SynthesisReport
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_ranges(self) -> int:
+        """Number of stream ranges of the problem."""
+        return len(self.ranges)
+
+    @property
+    def total_memory_bits(self) -> int:
+        """Estimated on-chip memory of the design (registers + BRAM)."""
+        return self.cost.total_bits
+
+    @property
+    def fmax_mhz(self) -> float:
+        """Estimated clock frequency from the synthesis model."""
+        return self.synthesis.fmax_mhz
+
+    def describe(self) -> str:
+        """Multi-line summary used by examples and sweep reports."""
+        lines = [
+            f"CompiledDesign for {self.problem.describe()}",
+            f"  cases/ranges   : {self.n_cases} cases over {self.n_ranges} ranges",
+            self.plan.describe(),
+            f"  stream mapping : {self.partition.describe()}",
+            f"  memory cost    : {self.cost.r_total_bits} register bits, "
+            f"{self.cost.b_total_bits} BRAM bits",
+            f"  est. Fmax      : {self.fmax_mhz:.1f} MHz",
+        ]
+        return "\n".join(lines)
+
+
+def _build(problem: StencilProblem) -> CompiledDesign:
+    """Uncached compilation of one problem."""
+    config = problem.to_config()
+    ranges = tuple(
+        partition_into_ranges(problem.grid, problem.stencil, problem.boundary, problem.pattern)
+    )
+    plan = plan_buffers(
+        problem.grid,
+        problem.stencil,
+        problem.boundary,
+        problem.pattern,
+        word_bits=problem.word_bits,
+        max_stream_reach=problem.max_stream_reach,
+        max_total_bits=problem.max_total_bits,
+    )
+    partition = partition_for_plan(
+        plan, problem.mode, register_elements=problem.register_elements
+    )
+    cost = estimate_memory_cost(plan, problem.mode, partition=partition)
+    synthesis = synthesize_smache(
+        config, plan=plan, partition=partition, kernel=problem.effective_kernel
+    )
+    return CompiledDesign(
+        problem=problem,
+        config=config,
+        ranges=ranges,
+        n_cases=len(classify_cases(ranges)),
+        plan=plan,
+        partition=partition,
+        cost=cost,
+        synthesis=synthesis,
+    )
+
+
+def compile(
+    problem: StencilProblem,
+    cache: Optional[PlanCache] = plan_cache,
+) -> CompiledDesign:
+    """Compile ``problem`` into a :class:`CompiledDesign`, memoized per problem.
+
+    ``cache`` defaults to the process-wide plan cache; pass ``None`` to force
+    a fresh compilation.  Problems carrying a custom non-contiguous iteration
+    pattern always bypass the cache (see :attr:`StencilProblem.is_cacheable`).
+    """
+    if isinstance(problem, SmacheConfig):
+        problem = StencilProblem.from_config(problem)
+    if cache is None or not problem.is_cacheable:
+        return _build(problem)
+    design = cache.get_or_compile(problem.cache_key(), lambda: _build(problem))
+    if design.problem != problem:
+        # A cache hit from an equivalent problem under a different name (the
+        # key ignores labels): share the compiled artifacts, keep the caller's
+        # identity on the wrapper.
+        design = replace(design, problem=problem, config=problem.to_config())
+    return design

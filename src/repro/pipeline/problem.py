@@ -1,0 +1,135 @@
+"""The pipeline's input: a complete, cacheable stencil problem description.
+
+A :class:`StencilProblem` bundles what :class:`repro.core.config.SmacheConfig`
+describes (grid, stencil, boundary, architecture knobs) with the two things a
+full evaluation additionally needs: the computation *kernel* and, optionally,
+a non-contiguous *iteration pattern*.  Unlike ``SmacheConfig`` it is designed
+to be used as a cache key, so the whole compilation (planning, partitioning,
+costing, synthesis) can be memoized per problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Hashable, Optional, Tuple
+
+from repro.core.boundary import BoundarySpec
+from repro.core.config import SmacheConfig
+from repro.core.grid import GridSpec, IterationPattern
+from repro.core.partition import StreamBufferMode
+from repro.core.stencil import StencilShape
+from repro.reference.kernels import AveragingKernel, StencilKernel
+
+
+def default_kernel(stencil: StencilShape) -> StencilKernel:
+    """The kernel assumed when a problem does not name one (paper's filter)."""
+    return AveragingKernel(expected_points=stencil.n_points)
+
+
+@dataclass(frozen=True)
+class StencilProblem:
+    """Everything needed to compile and evaluate one stencil workload."""
+
+    grid: GridSpec
+    stencil: StencilShape
+    boundary: BoundarySpec
+    # Excluded from the generated hash (kernels may hold dict fields, e.g.
+    # WeightedKernel's weights) but still part of equality; cache_key() carries
+    # the kernel identity through its repr instead.
+    kernel: Optional[StencilKernel] = field(default=None, hash=False)
+    pattern: Optional[IterationPattern] = field(default=None, compare=False)
+    mode: StreamBufferMode = StreamBufferMode.HYBRID
+    word_bits: Optional[int] = None
+    max_stream_reach: Optional[int] = None
+    max_total_bits: Optional[int] = None
+    register_elements: Optional[int] = None
+    name: str = "problem"
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_config(
+        cls,
+        config: SmacheConfig,
+        kernel: Optional[StencilKernel] = None,
+        pattern: Optional[IterationPattern] = None,
+    ) -> "StencilProblem":
+        """Wrap an existing :class:`SmacheConfig` as a pipeline problem."""
+        return cls(
+            grid=config.grid,
+            stencil=config.stencil,
+            boundary=config.boundary,
+            kernel=kernel,
+            pattern=pattern,
+            mode=config.mode,
+            word_bits=config.word_bits,
+            max_stream_reach=config.max_stream_reach,
+            max_total_bits=config.max_total_bits,
+            register_elements=config.register_elements,
+            name=config.name,
+        )
+
+    @classmethod
+    def paper_example(cls, rows: int = 11, cols: int = 11, **overrides) -> "StencilProblem":
+        """The paper's validation case as a pipeline problem."""
+        problem = cls.from_config(SmacheConfig.paper_example(rows, cols))
+        return replace(problem, **overrides) if overrides else problem
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    def to_config(self) -> SmacheConfig:
+        """The ``repro.core`` view of this problem (drops kernel and pattern)."""
+        return SmacheConfig(
+            grid=self.grid,
+            stencil=self.stencil,
+            boundary=self.boundary,
+            mode=self.mode,
+            word_bits=self.word_bits,
+            max_stream_reach=self.max_stream_reach,
+            max_total_bits=self.max_total_bits,
+            register_elements=self.register_elements,
+            kernel_ops_per_point=self.effective_kernel.ops_per_point,
+            name=self.name,
+        )
+
+    @property
+    def effective_kernel(self) -> StencilKernel:
+        """The kernel to compile for (defaults to the paper's averaging filter)."""
+        return self.kernel if self.kernel is not None else default_kernel(self.stencil)
+
+    # ------------------------------------------------------------------ #
+    # caching
+    # ------------------------------------------------------------------ #
+    @property
+    def is_cacheable(self) -> bool:
+        """Only problems with a contiguous (or default) pattern are memoized.
+
+        A custom :class:`IterationPattern` is a mutable, identity-keyed object;
+        compiling one bypasses the plan cache rather than risking a stale hit.
+        """
+        return self.pattern is None or self.pattern.is_contiguous()
+
+    def cache_key(self) -> Tuple[Hashable, ...]:
+        """A hashable key identifying everything :func:`compile` depends on."""
+        kernel = self.effective_kernel
+        return (
+            self.grid,
+            self.stencil,
+            self.boundary,
+            self.mode,
+            self.word_bits,
+            self.max_stream_reach,
+            self.max_total_bits,
+            self.register_elements,
+            type(kernel).__name__,
+            repr(kernel),
+        )
+
+    def describe(self) -> str:
+        """One-line summary used by sweep reports."""
+        return (
+            f"{self.name}: {self.stencil} on {self.grid.describe()}, "
+            f"mode={self.mode.value}, kernel={self.effective_kernel.name}"
+        )

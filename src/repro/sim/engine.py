@@ -144,16 +144,19 @@ class Simulator:
         """Run until ``condition()`` is true; returns the cycle count.
 
         Raises :class:`SimulationError` if the condition is not met within
-        ``max_cycles`` (runaway / deadlock protection).
+        ``max_cycles`` (runaway / deadlock protection).  The budget is
+        respected exactly even when ``check_every > 1``: the last batch is
+        clipped so the simulation never silently runs past ``max_cycles``.
         """
         check_positive("max_cycles", max_cycles)
+        check_positive("check_every", check_every)
         while not condition():
             if self.cycle >= max_cycles:
                 raise SimulationError(
                     f"simulation '{self.name}' exceeded {max_cycles} cycles "
                     "without meeting its termination condition"
                 )
-            self.step(check_every)
+            self.step(min(check_every, max_cycles - self.cycle))
         return self.cycle
 
     def run_until_idle(self, max_cycles: int = 10_000_000, settle: int = 4) -> int:

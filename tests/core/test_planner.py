@@ -219,6 +219,36 @@ class TestPlannerConstraints:
         )
         assert constrained.total_bits <= unconstrained.total_bits
 
+    def test_zero_reach_window_offloads_every_offset(self, paper_config):
+        plan = plan_buffers(
+            paper_config.grid,
+            paper_config.stencil,
+            paper_config.boundary,
+            max_stream_reach=0,
+        )
+        assert plan.stream.reach == 0
+        assert plan.stream.window_lo == 0 and plan.stream.window_hi == 0
+        # with no window to serve neighbours, every non-centre offset is static
+        for rp in plan.range_plans:
+            assert set(rp.kept_offsets) <= {0}
+        assert plan.static_elements >= paper_config.grid.size
+
+    def test_max_total_bits_infeasible_falls_back_to_smallest_footprint(self, paper_config):
+        unconstrained = plan_buffers(
+            paper_config.grid, paper_config.stencil, paper_config.boundary
+        )
+        # a one-bit budget admits no candidate; the planner falls back to the
+        # smallest-footprint plan and the caller checks total_bits
+        fallback = plan_buffers(
+            paper_config.grid,
+            paper_config.stencil,
+            paper_config.boundary,
+            max_total_bits=1,
+        )
+        assert fallback.total_bits > 1
+        assert fallback.total_cost_elements == unconstrained.total_cost_elements
+        assert fallback.stream.reach == unconstrained.stream.reach
+
     def test_single_buffering_halves_static_bits(self, paper_config):
         double = plan_buffers(paper_config.grid, paper_config.stencil, paper_config.boundary)
         single = plan_buffers(

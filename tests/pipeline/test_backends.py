@@ -1,0 +1,129 @@
+"""Tests for the pipeline backend registry and the evaluate facade."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    Backend,
+    EvaluationRequest,
+    StencilProblem,
+    available_backends,
+    compile,
+    evaluate,
+    evaluate_batch,
+    get_backend,
+    register_backend,
+)
+from repro.pipeline.backends import _BACKENDS
+
+
+@pytest.fixture(scope="module")
+def small_design():
+    return compile(StencilProblem.paper_example(7, 9))
+
+
+class TestRegistry:
+    def test_builtin_backends_present(self):
+        names = available_backends()
+        for expected in ("simulate", "reference", "analytic", "cost", "hdl"):
+            assert expected in names
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError):
+            get_backend("quantum")
+
+    def test_custom_backend_registration(self, small_design):
+        class EchoBackend(Backend):
+            name = "echo"
+
+            def evaluate(self, design, request):
+                from repro.pipeline.backends import EvaluationResult
+
+                return EvaluationResult(backend=self.name, system=request.system, design=design)
+
+        register_backend("echo", EchoBackend)
+        try:
+            result = evaluate(small_design, backend="echo")
+            assert result.backend == "echo"
+        finally:
+            _BACKENDS.pop("echo", None)
+
+
+class TestEvaluationRequest:
+    def test_rejects_unknown_system(self):
+        with pytest.raises(ValueError):
+            EvaluationRequest(system="gpu")
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(ValueError):
+            EvaluationRequest(iterations=-1)
+
+    def test_input_grid_overrides_test_pattern(self, small_design):
+        grid = np.ones(small_design.problem.grid.shape)
+        request = EvaluationRequest(input_grid=grid)
+        assert np.array_equal(request.resolve_input(small_design), grid)
+
+
+class TestBackendsAgree:
+    def test_simulate_matches_reference_output(self, small_design):
+        request = EvaluationRequest(iterations=3)
+        simulated = evaluate(small_design, backend="simulate", request=request)
+        golden = evaluate(small_design, backend="reference", request=request)
+        assert np.allclose(simulated.output, golden.output)
+
+    def test_baseline_simulation_matches_reference_output(self, small_design):
+        request = EvaluationRequest(iterations=3, system="baseline")
+        simulated = evaluate(small_design, backend="simulate", request=request)
+        golden = evaluate(small_design, backend="reference", request=request)
+        assert np.allclose(simulated.output, golden.output)
+
+    def test_analytic_produces_timing_but_no_output(self, small_design):
+        result = evaluate(small_design, backend="analytic", iterations=3)
+        assert result.cycles > 0
+        assert result.dram_bytes > 0
+        assert result.output is None
+
+    def test_cost_backend_reports_design_economics(self, small_design):
+        result = evaluate(small_design, backend="cost")
+        assert result.extra["total_bits"] == small_design.cost.total_bits
+        assert result.artifacts["synthesis"] is small_design.synthesis
+        assert result.cycles is None
+
+    def test_hdl_backend_generates_project(self, small_design):
+        result = evaluate(small_design, backend="hdl")
+        project = result.artifacts["project"]
+        assert "smache_top.v" in project.files
+        assert result.extra["n_files"] >= 3
+
+
+class TestFacade:
+    def test_evaluate_accepts_config_and_problem(self, small_config):
+        by_config = evaluate(small_config, backend="analytic", iterations=2)
+        by_problem = evaluate(
+            StencilProblem.from_config(small_config), backend="analytic", iterations=2
+        )
+        assert by_config.cycles == by_problem.cycles
+
+    def test_request_overrides_merge(self, small_design):
+        base = EvaluationRequest(iterations=1)
+        result = evaluate(
+            small_design, backend="analytic", request=base, iterations=4, system="baseline"
+        )
+        assert result.iterations == 4
+        assert result.system == "baseline"
+
+    def test_evaluate_batch_defaults_to_analytic(self):
+        problems = [StencilProblem.paper_example(7, 9), StencilProblem.paper_example(9, 11)]
+        results = evaluate_batch(problems, iterations=2)
+        assert [r.backend for r in results] == ["analytic", "analytic"]
+        assert all(r.cycles > 0 for r in results)
+
+    def test_execution_time_uses_design_fmax(self, small_design):
+        result = evaluate(small_design, backend="analytic", iterations=1)
+        expected = result.cycles / small_design.fmax_mhz
+        assert result.execution_time_us() == pytest.approx(expected)
+
+    def test_execution_time_requires_cycles(self, small_design):
+        result = evaluate(small_design, backend="reference", iterations=1)
+        with pytest.raises(ValueError):
+            result.execution_time_us()

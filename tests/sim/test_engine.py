@@ -79,6 +79,33 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             sim.run_until(lambda: False, max_cycles=20)
 
+    def test_run_until_check_every_cannot_overshoot_max_cycles(self):
+        # Regression: with check_every > 1 the final batch used to run the
+        # clock past max_cycles before the budget check fired.
+        sim = Simulator()
+        Producer(sim, limit=100)
+        with pytest.raises(SimulationError):
+            sim.run_until(lambda: False, max_cycles=10, check_every=7)
+        assert sim.cycle == 10
+
+    def test_run_until_check_every_batches_to_exact_budget(self):
+        sim = Simulator()
+        producer = Producer(sim, limit=20)
+        consumer = Consumer(sim, producer.out)
+        cycles = sim.run_until(
+            lambda: len(consumer.received) == 20, max_cycles=200, check_every=8
+        )
+        assert consumer.received == list(range(20))
+        # the condition is only sampled every 8 cycles, so the stop point is
+        # the first multiple of the batch size at or after completion
+        assert cycles % 8 == 0
+
+    def test_run_until_rejects_non_positive_check_every(self):
+        sim = Simulator()
+        Producer(sim, limit=5)
+        with pytest.raises(ValueError):
+            sim.run_until(lambda: False, max_cycles=10, check_every=0)
+
     def test_run_until_idle(self):
         sim = Simulator()
         producer = Producer(sim, limit=5)
