@@ -12,17 +12,25 @@ module:
 3. pick the best mapping under two different scarcity assumptions
    (register-scarce vs BRAM-scarce),
 4. check which mappings fit a small edge-class device once the kernel's own
-   resource budget is reserved, and
+   resource budget is reserved,
 5. run a whole-problem performance sweep through the pipeline: the full
    candidate space is priced with the closed-form `analytic` backend and only
-   the cycles/memory Pareto front is re-run cycle-accurately.
+   the cycles/memory Pareto front is re-run cycle-accurately (sharded over
+   two worker processes via `jobs=2`), and
+6. run the same exploration as a *declarative campaign* through the sweep
+   engine: describe the space once, execute it on a process pool with a
+   resumable JSONL checkpoint, and re-run to show that completed points are
+   loaded instead of re-evaluated.
 
 Run with:  python examples/dse_resource_tradeoff.py
 """
 
+import os
+import tempfile
 from dataclasses import replace
 
 from repro.core.config import SmacheConfig
+from repro.core.partition import StreamBufferMode
 from repro.dse import (
     explore_partitions,
     explore_performance,
@@ -34,6 +42,7 @@ from repro.dse.explorer import pareto_front
 from repro.fpga.device import small_device, stratix_v
 from repro.fpga.resources import ResourceUsage
 from repro.pipeline import StencilProblem
+from repro.sweep import SuccessiveHalving, SweepSpec, run_campaign
 
 GRID = (1024, 1024)
 
@@ -91,12 +100,34 @@ def main() -> None:
         )
         for reach in (8, 16, 32, 48, 96, None)
     ]
-    sweep = explore_performance(candidates, iterations=3)
+    sweep = explore_performance(candidates, iterations=3, jobs=2)
     print(sweep.format())
     print(f"\n  {len(sweep.points)} candidates priced analytically, "
           f"{sweep.simulated_count} re-simulated (the Pareto front)")
     print(f"  selected: {sweep.selected.label} "
           f"({sweep.selected.cycles} cycles, {sweep.selected.total_bits} bits on chip)")
+
+    print("\n=== declarative campaign: spec -> run -> resume -> report ===")
+    spec = SweepSpec(
+        name="tradeoff",
+        base=StencilProblem.paper_example(48, 48),
+        grid_sizes=((24, 24), (48, 48), (96, 96)),
+        max_stream_reaches=(8, 32, None),
+        modes=(StreamBufferMode.HYBRID, StreamBufferMode.REGISTER_ONLY),
+        iterations=3,
+    )
+    checkpoint = os.path.join(tempfile.mkdtemp(prefix="smache-campaign-"), "tradeoff.jsonl")
+    # Successive halving prices all 18 points analytically and re-simulates
+    # only the best half; two worker processes share the load.
+    campaign = run_campaign(
+        spec, jobs=2, checkpoint=checkpoint, strategy=SuccessiveHalving(eta=2)
+    )
+    print(campaign.format(max_rows=12))
+    resumed = run_campaign(
+        spec, jobs=2, checkpoint=checkpoint, strategy=SuccessiveHalving(eta=2)
+    )
+    print(f"\n  re-run from {checkpoint}: {resumed.evaluated} evaluated, "
+          f"{resumed.resumed} resumed from checkpoint (no point ran twice)")
 
 
 if __name__ == "__main__":

@@ -40,6 +40,11 @@ The package is organised as:
     Design-space exploration over buffer configurations and whole
     problems (fast analytic sweeps with Pareto-front re-simulation).
 
+``repro.sweep``
+    The parallel sweep engine: declarative campaign specs, serial and
+    process-pool runners, resumable JSONL checkpoints and adaptive
+    search strategies.
+
 ``repro.eval``
     The experiment harness regenerating every table and figure of the
     paper's evaluation section.
@@ -60,8 +65,12 @@ from repro.pipeline import (
     evaluate,
     evaluate_batch,
 )
+from repro.sweep import CampaignResult, SweepSpec, run_campaign
 
 __all__ = [
+    "CampaignResult",
+    "SweepSpec",
+    "run_campaign",
     "CompiledDesign",
     "EvaluationRequest",
     "EvaluationResult",

@@ -36,9 +36,14 @@ from repro.fpga.device import FPGADevice
 from repro.fpga.resources import ResourceUsage
 from repro.fpga.synthesis import SynthesisReport, synthesize_smache
 from repro.memory.dram import DRAMTiming
-from repro.pipeline.backends import EvaluationRequest, EvaluationResult, evaluate
+from repro.pipeline.backends import (
+    EvaluationRequest,
+    EvaluationResult,
+    evaluate_batch,
+)
 from repro.pipeline.compile import CompiledDesign, compile as compile_problem
 from repro.pipeline.problem import StencilProblem
+from repro.utils.pareto import pareto_front as generic_pareto_front
 
 
 @dataclass(frozen=True)
@@ -155,11 +160,15 @@ def select_best(
     objective: Callable[[DesignPoint], float],
     require_fit: bool = True,
 ) -> Optional[DesignPoint]:
-    """Pick the feasible point minimising ``objective`` (None if none fits)."""
+    """Pick the feasible point minimising ``objective`` (None if none fits).
+
+    Exact objective ties are broken by the point's label, so the selection is
+    deterministic regardless of the order candidates were generated in.
+    """
     candidates = [p for p in points if p.fits] if require_fit else list(points)
     if not candidates:
         return None
-    return min(candidates, key=objective)
+    return min(candidates, key=lambda p: (objective(p), p.label))
 
 
 # --------------------------------------------------------------------------- #
@@ -205,18 +214,7 @@ def _default_performance_objective(point: PerformancePoint) -> Tuple:
 
 def performance_pareto_front(points: Sequence[PerformancePoint]) -> List[PerformancePoint]:
     """The cycles / on-chip-memory Pareto front of a performance sweep."""
-    front = []
-    for p in points:
-        dominated = any(
-            q is not p
-            and q.predicted_cycles <= p.predicted_cycles
-            and q.total_bits <= p.total_bits
-            and (q.predicted_cycles < p.predicted_cycles or q.total_bits < p.total_bits)
-            for q in points
-        )
-        if not dominated:
-            front.append(p)
-    return front
+    return generic_pareto_front(points, key=lambda p: (p.predicted_cycles, p.total_bits))
 
 
 @dataclass
@@ -253,6 +251,7 @@ def explore_performance(
     timing: Optional[DRAMTiming] = None,
     backend: str = "analytic",
     simulate_front: bool = True,
+    jobs: int = 1,
 ) -> PerformanceSweep:
     """Sweep whole problems: fast pricing, Pareto front, selective verification.
 
@@ -261,33 +260,44 @@ def explore_performance(
     microseconds per point.  The cycles/memory Pareto front is then re-run
     through the cycle-accurate ``simulate`` backend (unless ``simulate_front``
     is off or the sweep already simulated everything), and the ``objective``
-    picks the winner from the front using the verified numbers.
+    picks the winner from the front using the verified numbers (objective
+    ties broken by label, so the choice is deterministic).
+
+    Both stages run through the sweep engine's batch layer: with ``jobs > 1``
+    pricing *and* front re-simulation shard over a process pool
+    (:mod:`repro.sweep.runners`), so the same sweep scales from one core to N
+    unchanged.
     """
     if not problems:
         raise ValueError("explore_performance needs at least one problem")
     objective = objective or _default_performance_objective
     request = EvaluationRequest(iterations=iterations, dram_timing=timing)
+    predictions = evaluate_batch(problems, backend=backend, request=request, jobs=jobs)
     points = []
-    for p in problems:
-        design = compile_problem(p)
-        predicted = evaluate(design, backend=backend, request=request)
+    for predicted in predictions:
         if predicted.cycles is None:
             raise ValueError(
                 f"backend {backend!r} produces no cycle count; a performance "
                 "sweep needs a timing backend such as 'analytic' or 'simulate'"
             )
-        points.append(PerformancePoint(design=design, predicted=predicted))
+        points.append(PerformancePoint(design=predicted.design, predicted=predicted))
     front = performance_pareto_front(points)
     simulated_count = 0
     if backend == "simulate":
         for p in points:
             p.simulated = p.predicted
         simulated_count = len(points)
-    elif simulate_front:
-        for p in front:
-            p.simulated = evaluate(p.design, backend="simulate", request=request)
+    elif simulate_front and front:
+        verified = evaluate_batch(
+            [p.design for p in front], backend="simulate", request=request,
+            jobs=min(jobs, len(front)),
+        )
+        for p, sim in zip(front, verified):
+            p.simulated = sim
             simulated_count += 1
-    selected = min(front, key=objective) if front else None
+    selected = (
+        min(front, key=lambda p: (objective(p), p.label)) if front else None
+    )
     return PerformanceSweep(
         points=points,
         front=front,
@@ -303,23 +313,6 @@ def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
     A point is kept if no other point is at least as good on both axes and
     strictly better on one.
     """
-    front = []
-    for p in points:
-        dominated = False
-        for q in points:
-            if q is p:
-                continue
-            better_or_equal = (
-                q.cost.r_total_bits <= p.cost.r_total_bits
-                and q.cost.b_total_bits <= p.cost.b_total_bits
-            )
-            strictly_better = (
-                q.cost.r_total_bits < p.cost.r_total_bits
-                or q.cost.b_total_bits < p.cost.b_total_bits
-            )
-            if better_or_equal and strictly_better:
-                dominated = True
-                break
-        if not dominated:
-            front.append(p)
-    return front
+    return generic_pareto_front(
+        points, key=lambda p: (p.cost.r_total_bits, p.cost.b_total_bits)
+    )

@@ -27,7 +27,16 @@ def main(argv=None) -> int:
         help=f"experiments to run: all (default) or any of {sorted(EXPERIMENTS)}",
     )
     parser.add_argument("--output", "-o", help="also write the report to this file")
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for sweep-shaped experiments (default: 1, serial)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be positive")
 
     names = None
     if args.experiments and args.experiments != ["all"]:
@@ -36,7 +45,7 @@ def main(argv=None) -> int:
             parser.error(f"unknown experiment(s): {unknown}; choose from {sorted(EXPERIMENTS)}")
         names = args.experiments
 
-    report = run_all(names)
+    report = run_all(names, jobs=args.jobs)
     text = report.format()
     print(text)
     if args.output:

@@ -19,9 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from repro.core.planner import paper_algorithm1
 from repro.memory.dram import DRAMTiming
-from repro.pipeline import EvaluationRequest, StencilProblem, compile, evaluate
+from repro.pipeline import EvaluationRequest, StencilProblem, evaluate_batch
+from repro.sweep.runners import make_runner
+from repro.sweep.spec import SweepPoint
 from repro.utils.tables import format_table
 
 
@@ -73,19 +74,24 @@ class WriteThroughAblation:
 
 
 def run_write_through_ablation(
-    rows: int = 11, cols: int = 11, iterations: int = 20
+    rows: int = 11, cols: int = 11, iterations: int = 20, jobs: int = 1
 ) -> WriteThroughAblation:
-    """Run the Smache system with and without write-through."""
-    design = compile(StencilProblem.paper_example(rows, cols))
-    results = {}
-    for key, write_through in (("with", True), ("without", False)):
-        sim = evaluate(
-            design,
+    """Run the Smache system with and without write-through (one 2-point sweep)."""
+    problem = StencilProblem.paper_example(rows, cols)
+    points = [
+        SweepPoint(
+            problem=problem,
             backend="simulate",
-            iterations=iterations,
-            write_through=write_through,
+            request=EvaluationRequest(iterations=iterations, write_through=write_through),
+            label=label,
         )
-        results[key] = {"cycles": float(sim.cycles), "dram_bytes": float(sim.dram_bytes)}
+        for label, write_through in (("with", True), ("without", False))
+    ]
+    records = {r.label: r for r in make_runner(jobs).run(points)}
+    results = {
+        label: {"cycles": float(rec.cycles), "dram_bytes": float(rec.dram_bytes)}
+        for label, rec in records.items()
+    }
     return WriteThroughAblation(
         with_write_through=results["with"], without_write_through=results["without"]
     )
@@ -128,22 +134,34 @@ def run_dram_penalty_ablation(
     rows: int = 11,
     cols: int = 11,
     iterations: int = 10,
+    jobs: int = 1,
 ) -> DramPenaltyAblation:
-    """Sweep the extra cost of non-burst DRAM accesses for both designs."""
-    design = compile(StencilProblem.paper_example(rows, cols))
+    """Sweep the extra cost of non-burst DRAM accesses for both designs.
+
+    The penalties × systems grid runs as one sweep through the runner layer,
+    so ``jobs=N`` shards the simulations over a process pool.
+    """
+    problem = StencilProblem.paper_example(rows, cols)
+    points = [
+        SweepPoint(
+            problem=problem,
+            backend="simulate",
+            request=EvaluationRequest(
+                system=system,
+                iterations=iterations,
+                dram_timing=DRAMTiming(random_access_cycles=1 + penalty),
+            ),
+            label=f"{system}-p{penalty}",
+        )
+        for penalty in penalties
+        for system in ("baseline", "smache")
+    ]
+    records = {r.label: r for r in make_runner(jobs).run(points)}
     result = DramPenaltyAblation()
     for penalty in penalties:
-        request = EvaluationRequest(
-            iterations=iterations,
-            dram_timing=DRAMTiming(random_access_cycles=1 + penalty),
-        )
         result.penalties.append(penalty)
-        result.baseline_cycles.append(
-            evaluate(design, backend="simulate", request=request, system="baseline").cycles
-        )
-        result.smache_cycles.append(
-            evaluate(design, backend="simulate", request=request).cycles
-        )
+        result.baseline_cycles.append(records[f"baseline-p{penalty}"].cycles)
+        result.smache_cycles.append(records[f"smache-p{penalty}"].cycles)
     return result
 
 
@@ -185,17 +203,21 @@ class PlannerAblation:
 
 def run_planner_ablation(
     grid_sizes: Sequence[Tuple[int, int]] = ((11, 11), (64, 64), (256, 256), (1024, 1024)),
+    jobs: int = 1,
 ) -> PlannerAblation:
-    """Compare buffer sizes for three planning strategies across grid sizes."""
+    """Compare buffer sizes for three planning strategies across grid sizes.
+
+    Each grid size is one ``cost``-backend point: the backend's extras carry
+    the planner comparison (chosen plan vs the paper's Algorithm 1 vs a
+    stream-only window spanning the full offset range), so with ``jobs=N``
+    the per-grid compilations shard over a process pool.
+    """
+    problems = [StencilProblem.paper_example(shape[0], shape[1]) for shape in grid_sizes]
+    evaluations = evaluate_batch(problems, backend="cost", jobs=jobs)
     result = PlannerAblation()
-    for shape in grid_sizes:
-        design = compile(StencilProblem.paper_example(shape[0], shape[1]))
-        # Stream-only: a single window wide enough to serve every offset of
-        # every range without static buffers (the full circular span).
-        offsets = [o for r in design.ranges for o in r.stream_offsets]
-        stream_only = max(offsets) - min(offsets)
+    for shape, evaluation in zip(grid_sizes, evaluations):
         result.grid_sizes.append(tuple(shape))
-        result.stream_only_elements.append(stream_only)
-        result.algorithm1_elements.append(paper_algorithm1(design.ranges).total_elements)
-        result.planner_elements.append(design.plan.total_cost_elements)
+        result.stream_only_elements.append(int(evaluation.extra["stream_only_elements"]))
+        result.algorithm1_elements.append(int(evaluation.extra["algorithm1_elements"]))
+        result.planner_elements.append(int(evaluation.extra["plan_elements"]))
     return result

@@ -21,11 +21,13 @@ from repro.core.grid import GridSpec
 from repro.core.stencil import StencilShape
 from repro.pipeline import (
     ANALYTIC_TOLERANCE,
+    EvaluationRequest,
     StencilProblem,
     ValidationReport,
-    compile,
-    validate_prediction,
 )
+from repro.pipeline.analytic import VALIDATED_METRICS, build_validation_report
+from repro.sweep.runners import make_runner
+from repro.sweep.spec import SweepPoint
 from repro.utils.tables import format_table
 
 
@@ -112,12 +114,43 @@ def _check_cases() -> List[Tuple[str, StencilProblem, int]]:
     ]
 
 
-def run_analytic_check() -> AnalyticCheckResult:
-    """Cross-validate the analytic backend against the simulator."""
-    result = AnalyticCheckResult()
+def run_analytic_check(jobs: int = 1, tolerance: float = ANALYTIC_TOLERANCE) -> AnalyticCheckResult:
+    """Cross-validate the analytic backend against the simulator.
+
+    Every (configuration × system × backend) combination is one point of a
+    single sweep through the runner layer, so with ``jobs=N`` the expensive
+    simulations shard over a process pool; the validation reports are then
+    assembled from the paired records exactly as
+    :func:`repro.pipeline.analytic.validate_prediction` builds them in-process.
+    """
+    points = []
     for label, problem, iterations in _check_cases():
-        design = compile(problem)
         for system in ("smache", "baseline"):
-            report = validate_prediction(design, system=system, iterations=iterations)
+            for backend in ("simulate", "analytic"):
+                points.append(
+                    SweepPoint(
+                        problem=problem,
+                        backend=backend,
+                        request=EvaluationRequest(system=system, iterations=iterations),
+                        label=f"{label}/{system}/{backend}",
+                    )
+                )
+    records = {r.label: r for r in make_runner(jobs).run(points)}
+    result = AnalyticCheckResult(tolerance=tolerance)
+    for label, _problem, iterations in _check_cases():
+        for system in ("smache", "baseline"):
+            simulated = records[f"{label}/{system}/simulate"]
+            predicted = records[f"{label}/{system}/analytic"]
+            # eval_seconds is backend time alone (compilation excluded), the
+            # same quantity validate_prediction times in-process.
+            report = build_validation_report(
+                system=system,
+                simulated={m: getattr(simulated, m) for m in VALIDATED_METRICS},
+                predicted={m: getattr(predicted, m) for m in VALIDATED_METRICS},
+                iterations=iterations,
+                tolerance=tolerance,
+                simulate_seconds=simulated.meta.get("eval_seconds", 0.0),
+                predict_seconds=predicted.meta.get("eval_seconds", 0.0),
+            )
             result.rows.append(AnalyticCheckRow(label=label, report=report))
     return result

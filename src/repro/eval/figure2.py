@@ -16,7 +16,9 @@ from typing import Dict, Optional
 from repro.arch.system import SimulationResult
 from repro.eval.paper_constants import PAPER_FIGURE2, PAPER_FIGURE2_SETUP, relative_error
 from repro.fpga.synthesis import synthesize_baseline
-from repro.pipeline import EvaluationRequest, StencilProblem, compile, evaluate
+from repro.pipeline import EvaluationRequest, StencilProblem, compile
+from repro.sweep.runners import make_runner
+from repro.sweep.spec import SweepPoint
 from repro.utils.tables import format_table
 
 #: The columns of Figure 2, in the paper's order.
@@ -145,42 +147,53 @@ def run_figure2(
     cols: int = PAPER_FIGURE2_SETUP["cols"],
     iterations: int = PAPER_FIGURE2_SETUP["iterations"],
     keep_sim_results: bool = False,
+    jobs: int = 1,
 ) -> Figure2Result:
     """Run the Figure 2 experiment and return both rows.
 
     ``rows``/``cols``/``iterations`` default to the paper's setup; smaller
-    values are used by the fast test-suite configuration.  Both designs go
-    through the compilation pipeline: the problem is compiled (and cached)
-    once, then evaluated with the cycle-accurate ``simulate`` backend.
+    values are used by the fast test-suite configuration.  Both designs run
+    as one two-point sweep through the sweep engine's runner layer, so with
+    ``jobs=2`` the baseline and Smache simulations execute concurrently.
+    ``keep_sim_results`` needs the live simulation objects and therefore
+    forces the serial runner.
     """
     problem = StencilProblem.paper_example(rows, cols)
     design = compile(problem)
-    request = EvaluationRequest(iterations=iterations)
-
-    baseline_sim = evaluate(
-        design, backend="simulate", request=request, system="baseline"
-    ).artifacts["simulation"]
-    smache_sim = evaluate(design, backend="simulate", request=request).artifacts["simulation"]
+    points = [
+        SweepPoint(
+            problem=problem,
+            backend="simulate",
+            request=EvaluationRequest(system=system, iterations=iterations),
+            label=system,
+        )
+        for system in ("baseline", "smache")
+    ]
+    runner = make_runner(1 if keep_sim_results else jobs)
+    records = {
+        r.label: r for r in runner.run(points, keep_results=True)
+    }
+    baseline_res, smache_res = records["baseline"].result, records["smache"].result
 
     baseline_syn = synthesize_baseline(design.config, kernel=problem.effective_kernel)
     smache_syn = design.synthesis
 
-    def make_row(design: str, sim: SimulationResult, fmax: float) -> Figure2Row:
+    def make_row(name: str, res, fmax: float) -> Figure2Row:
         return Figure2Row(
-            design=design,
-            cycle_count=sim.cycles,
+            design=name,
+            cycle_count=res.cycles,
             freq_mhz=fmax,
-            dram_traffic_kib=sim.dram_traffic_kib,
-            exec_time_us=sim.execution_time_us(fmax),
-            mops=sim.mops(fmax),
+            dram_traffic_kib=res.dram_traffic_kib,
+            exec_time_us=res.execution_time_us(fmax),
+            mops=res.mops(fmax),
         )
 
     result = Figure2Result(
-        baseline=make_row("baseline", baseline_sim, baseline_syn.fmax_mhz),
-        smache=make_row("smache", smache_sim, smache_syn.fmax_mhz),
+        baseline=make_row("baseline", baseline_res, baseline_syn.fmax_mhz),
+        smache=make_row("smache", smache_res, smache_syn.fmax_mhz),
         iterations=iterations,
         grid_shape=(rows, cols),
-        baseline_sim=baseline_sim if keep_sim_results else None,
-        smache_sim=smache_sim if keep_sim_results else None,
+        baseline_sim=baseline_res.artifacts.get("simulation") if keep_sim_results else None,
+        smache_sim=smache_res.artifacts.get("simulation") if keep_sim_results else None,
     )
     return result

@@ -54,16 +54,19 @@ class EvaluationReport:
         return None
 
 
-#: Registry of experiments: name -> (title, runner returning a formatted string).
-EXPERIMENTS: Dict[str, Callable[[], str]] = {
-    "figure2": lambda: run_figure2().format(),
-    "table1": lambda: run_table1().format(),
-    "resources": lambda: run_resources().format(),
-    "hybrid": lambda: run_hybrid_tradeoff().format(),
-    "analytic": lambda: run_analytic_check().format(),
-    "ablation-writethrough": lambda: run_write_through_ablation().format(),
-    "ablation-dram": lambda: run_dram_penalty_ablation().format(),
-    "ablation-planner": lambda: run_planner_ablation().format(),
+#: Registry of experiments: name -> runner returning a formatted string.
+#: Every runner accepts ``jobs``; experiments that are sweeps (Figure 2, E5,
+#: the ablations) shard their points over the sweep engine's process-pool
+#: runner, the rest ignore the knob.
+EXPERIMENTS: Dict[str, Callable[..., str]] = {
+    "figure2": lambda jobs=1: run_figure2(jobs=jobs).format(),
+    "table1": lambda jobs=1: run_table1().format(),
+    "resources": lambda jobs=1: run_resources().format(),
+    "hybrid": lambda jobs=1: run_hybrid_tradeoff().format(),
+    "analytic": lambda jobs=1: run_analytic_check(jobs=jobs).format(),
+    "ablation-writethrough": lambda jobs=1: run_write_through_ablation(jobs=jobs).format(),
+    "ablation-dram": lambda jobs=1: run_dram_penalty_ablation(jobs=jobs).format(),
+    "ablation-planner": lambda jobs=1: run_planner_ablation(jobs=jobs).format(),
 }
 
 TITLES: Dict[str, str] = {
@@ -78,17 +81,17 @@ TITLES: Dict[str, str] = {
 }
 
 
-def run_experiment(name: str) -> ExperimentRecord:
-    """Run a single experiment by name."""
+def run_experiment(name: str, jobs: int = 1) -> ExperimentRecord:
+    """Run a single experiment by name (``jobs`` shards its sweeps)."""
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
-    text = EXPERIMENTS[name]()
+    text = EXPERIMENTS[name](jobs=jobs)
     return ExperimentRecord(name=name, title=TITLES[name], text=text)
 
 
-def run_all(names: Optional[List[str]] = None) -> EvaluationReport:
+def run_all(names: Optional[List[str]] = None, jobs: int = 1) -> EvaluationReport:
     """Run the requested experiments (all of them by default)."""
     report = EvaluationReport()
     for name in names or list(EXPERIMENTS):
-        report.records.append(run_experiment(name))
+        report.records.append(run_experiment(name, jobs=jobs))
     return report

@@ -33,7 +33,7 @@ with a single shared pipeline:
 """
 
 from repro.pipeline.problem import StencilProblem
-from repro.pipeline.cache import PlanCache, plan_cache, clear_plan_cache
+from repro.pipeline.cache import CacheInfo, PlanCache, plan_cache, clear_plan_cache
 from repro.pipeline.compile import CompiledDesign, compile
 from repro.pipeline.analytic import (
     ANALYTIC_TOLERANCE,
@@ -56,6 +56,7 @@ from repro.pipeline.backends import (
 
 __all__ = [
     "StencilProblem",
+    "CacheInfo",
     "PlanCache",
     "plan_cache",
     "clear_plan_cache",

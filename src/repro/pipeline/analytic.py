@@ -393,6 +393,43 @@ class ValidationReport:
         return self.simulate_seconds / self.predict_seconds
 
 
+#: The metrics cross-validated between the two backends.  Cycle counts carry
+#: the relative tolerance band; word/operation counts must match exactly.
+VALIDATED_METRICS = ("cycles", "dram_words_read", "dram_words_written", "operations")
+
+
+def build_validation_report(
+    system: str,
+    simulated: Dict[str, float],
+    predicted: Dict[str, float],
+    iterations: int = 0,
+    tolerance: float = ANALYTIC_TOLERANCE,
+    simulate_seconds: float = 0.0,
+    predict_seconds: float = 0.0,
+) -> ValidationReport:
+    """Assemble the canonical cross-validation report from metric dicts.
+
+    The single place that encodes the banding rule (cycles get the relative
+    ``tolerance``, counts must match exactly), shared by the in-process
+    :func:`validate_prediction` and the sweep-engine E5 experiment.
+    """
+    bands = {
+        metric: ReferenceBand(
+            simulated[metric],
+            *((-tolerance, tolerance) if metric == "cycles" else (0.0, 0.0)),
+        )
+        for metric in VALIDATED_METRICS
+    }
+    return ValidationReport(
+        system=system,
+        bands=bands,
+        predicted={metric: predicted[metric] for metric in VALIDATED_METRICS},
+        iterations=iterations,
+        simulate_seconds=simulate_seconds,
+        predict_seconds=predict_seconds,
+    )
+
+
 def validate_prediction(
     design: CompiledDesign,
     system: str = "smache",
@@ -415,23 +452,12 @@ def validate_prediction(
     t1 = time.perf_counter()
     predicted = get_backend("analytic").evaluate(design, request)
     t2 = time.perf_counter()
-    bands = {
-        "cycles": ReferenceBand(simulated.cycles, -tolerance, tolerance),
-        "dram_words_read": ReferenceBand(simulated.dram_words_read, 0.0, 0.0),
-        "dram_words_written": ReferenceBand(simulated.dram_words_written, 0.0, 0.0),
-        "operations": ReferenceBand(simulated.operations, 0.0, 0.0),
-    }
-    values = {
-        "cycles": predicted.cycles,
-        "dram_words_read": predicted.dram_words_read,
-        "dram_words_written": predicted.dram_words_written,
-        "operations": predicted.operations,
-    }
-    return ValidationReport(
+    return build_validation_report(
         system=system,
-        bands=bands,
-        predicted=values,
+        simulated={m: getattr(simulated, m) for m in VALIDATED_METRICS},
+        predicted={m: getattr(predicted, m) for m in VALIDATED_METRICS},
         iterations=iterations,
+        tolerance=tolerance,
         simulate_seconds=t1 - t0,
         predict_seconds=t2 - t1,
     )

@@ -95,9 +95,12 @@ class EvaluationResult:
         """Execution time in microseconds (defaults to the design's Fmax)."""
         if self.cycles is None:
             raise ValueError(f"backend {self.backend!r} produced no cycle count")
-        fmax = frequency_mhz if frequency_mhz is not None else self.design.fmax_mhz
-        if fmax <= 0:
-            raise ValueError("frequency must be positive")
+        if frequency_mhz is not None:
+            fmax, source = frequency_mhz, "frequency_mhz"
+        else:
+            fmax, source = self.design.fmax_mhz, "the design's estimated Fmax"
+        if not fmax > 0:  # also rejects NaN, instead of a ZeroDivisionError below
+            raise ValueError(f"{source} must be positive, got {fmax!r}")
         return self.cycles / fmax
 
     def mops(self, frequency_mhz: Optional[float] = None) -> float:
@@ -254,11 +257,21 @@ class AnalyticBackend(Backend):
 
 
 class CostBackend(Backend):
-    """Memory cost estimate and synthesis report, no workload execution."""
+    """Memory cost estimate and synthesis report, no workload execution.
+
+    Besides the Table-I cost split and the synthesis estimate, the extras
+    carry the planner comparison used by the A3 ablation: the elements of the
+    chosen plan, of the paper's Algorithm 1 and of a stream-only window wide
+    enough for the full offset span.
+    """
 
     name = "cost"
 
     def evaluate(self, design: CompiledDesign, request: EvaluationRequest) -> EvaluationResult:
+        from repro.core.planner import paper_algorithm1
+
+        offsets = [o for r in design.ranges for o in r.stream_offsets]
+        stream_only = (max(offsets) - min(offsets)) if offsets else 0
         return EvaluationResult(
             backend=self.name,
             system=request.system,
@@ -271,6 +284,9 @@ class CostBackend(Backend):
                 "alms": design.synthesis.alms,
                 "registers": design.synthesis.registers,
                 "bram_bits": design.synthesis.bram_bits,
+                "plan_elements": design.plan.total_cost_elements,
+                "algorithm1_elements": paper_algorithm1(design.ranges).total_elements,
+                "stream_only_elements": stream_only,
             },
             artifacts={"cost": design.cost, "synthesis": design.synthesis},
         )
@@ -338,6 +354,8 @@ def evaluate_batch(
     backend: str = "analytic",
     request: Optional[EvaluationRequest] = None,
     cache: Optional[PlanCache] = plan_cache,
+    jobs: int = 1,
+    chunksize: Optional[int] = None,
     **request_overrides,
 ) -> List[EvaluationResult]:
     """Evaluate many problems with one backend (the sweep entry point).
@@ -345,8 +363,36 @@ def evaluate_batch(
     Defaults to the ``analytic`` backend: sweeps price the full space with the
     closed-form model and re-simulate only the designs that matter (see
     :func:`repro.dse.explorer.explore_performance`).
+
+    With ``jobs > 1`` the batch is sharded over a process pool (see
+    :mod:`repro.sweep.runners`): each worker compiles with its own warm plan
+    cache and evaluation happens fully in the worker, so compilation — the
+    expensive part of broad analytic sweeps — parallelises too.  Results come
+    back in input order; heavyweight ``artifacts`` (e.g. live simulation
+    objects) are dropped in the parallel path, but metrics, outputs and the
+    compiled design survive the process boundary.  Worker processes can only
+    share the process-global plan cache, so a non-default ``cache`` (a custom
+    instance, or ``None`` to bypass caching) keeps the batch on the serial
+    path regardless of ``jobs``.
     """
-    return [
-        evaluate(p, backend=backend, request=request, cache=cache, **request_overrides)
-        for p in problems
-    ]
+    if jobs <= 1 or cache is not plan_cache:
+        return [
+            evaluate(p, backend=backend, request=request, cache=cache, **request_overrides)
+            for p in problems
+        ]
+    from repro.sweep.runners import ProcessPoolRunner
+    from repro.sweep.spec import SweepPoint
+
+    req = request or EvaluationRequest()
+    if request_overrides:
+        req = replace(req, **request_overrides)
+    points = []
+    for p in problems:
+        if isinstance(p, CompiledDesign):
+            p = p.problem
+        elif isinstance(p, SmacheConfig):
+            p = StencilProblem.from_config(p)
+        points.append(SweepPoint(problem=p, backend=backend, request=req))
+    runner = ProcessPoolRunner(jobs=jobs, chunksize=chunksize)
+    records = runner.run(points, keep_results=True)
+    return [r.result for r in records]

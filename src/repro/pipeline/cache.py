@@ -16,7 +16,27 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 from threading import Lock
-from typing import Callable, Hashable, Optional, Tuple
+from typing import Callable, Hashable, NamedTuple, Optional, Tuple
+
+
+class CacheInfo(NamedTuple):
+    """``functools.lru_cache``-style counters of a :class:`PlanCache`.
+
+    The same shape is reported per worker process by campaign runs (see
+    :mod:`repro.sweep`), so serial and parallel sweeps surface cache
+    behaviour uniformly.
+    """
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
 
 
 @dataclass(frozen=True)
@@ -100,6 +120,16 @@ class PlanCache:
                 misses=self._misses,
                 entries=len(self._entries),
                 evictions=self._evictions,
+            )
+
+    def cache_info(self) -> CacheInfo:
+        """``functools``-style counters: hits, misses, maxsize, currsize."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                maxsize=self.max_entries,
+                currsize=len(self._entries),
             )
 
     def __len__(self) -> int:

@@ -1,0 +1,58 @@
+"""The parallel sweep engine: declarative, resumable evaluation campaigns.
+
+Where :mod:`repro.pipeline` makes *one* evaluation cheap, this package makes
+*many* evaluations scale: describe the problem space once, let a runner
+execute it on 1..N cores, checkpoint every completed point, and aggregate
+the records into a report.
+
+* :class:`SweepSpec` — the declarative space (grid sizes × stencils ×
+  partitions × reaches × backends × systems) expanding to
+  :class:`SweepPoint`\\ s with stable content keys;
+* :mod:`repro.sweep.runners` — the executor layer: :class:`SerialRunner`
+  and the chunk-sharded :class:`ProcessPoolRunner` (warm per-worker plan
+  caches), also backing ``evaluate_batch(..., jobs=N)``;
+* :mod:`repro.sweep.checkpoint` — append-only JSONL checkpoints; a killed
+  campaign resumes without re-evaluating completed points;
+* :mod:`repro.sweep.strategies` — grid, seeded-random and
+  successive-halving (price analytically, re-simulate survivors) search;
+* :func:`run_campaign` / :class:`CampaignResult` — orchestration and the
+  aggregation/report API, with a byte-stable canonical serialisation so a
+  parallel campaign is provably identical to a serial one.
+
+Command line: ``python -m repro.sweep --help``.
+"""
+
+from repro.sweep.spec import SweepPoint, SweepSpec, smoke_spec
+from repro.sweep.record import PointRecord, canonical_json
+from repro.sweep.runners import ProcessPoolRunner, Runner, SerialRunner, make_runner
+from repro.sweep.checkpoint import CampaignCheckpoint, CheckpointMismatch
+from repro.sweep.strategies import (
+    GridSearch,
+    RandomSearch,
+    SearchStrategy,
+    SuccessiveHalving,
+    get_strategy,
+)
+from repro.sweep.campaign import CampaignResult, pareto_front_records, run_campaign
+
+__all__ = [
+    "SweepPoint",
+    "SweepSpec",
+    "smoke_spec",
+    "PointRecord",
+    "canonical_json",
+    "Runner",
+    "SerialRunner",
+    "ProcessPoolRunner",
+    "make_runner",
+    "CampaignCheckpoint",
+    "CheckpointMismatch",
+    "SearchStrategy",
+    "GridSearch",
+    "RandomSearch",
+    "SuccessiveHalving",
+    "get_strategy",
+    "CampaignResult",
+    "pareto_front_records",
+    "run_campaign",
+]

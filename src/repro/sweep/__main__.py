@@ -1,0 +1,89 @@
+"""Command-line campaign driver: ``python -m repro.sweep``.
+
+Without arguments a small built-in smoke campaign runs serially; axes,
+parallelism, search strategy and the checkpoint file are all flags.  Re-run
+the same command to resume: completed points load from the checkpoint and
+are not re-evaluated (the report counts them as *resumed*).
+
+Examples
+--------
+Run the smoke campaign on two workers with a resumable checkpoint::
+
+    python -m repro.sweep --jobs 2 --checkpoint campaign-smoke.jsonl
+
+A bigger declarative space with successive halving::
+
+    python -m repro.sweep --grids 24x24,48x48,96x96 --reaches 0,8,none \\
+        --modes hybrid,register_only --strategy halving --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.partition import StreamBufferMode
+from repro.pipeline.problem import StencilProblem
+from repro.sweep.campaign import run_campaign
+from repro.sweep.spec import SweepSpec, _parse_grid_list, _parse_reach_list, smoke_spec
+from repro.sweep.strategies import get_strategy
+
+
+def build_spec(args: argparse.Namespace) -> SweepSpec:
+    """The campaign spec described by the CLI flags."""
+    if not (args.grids or args.reaches or args.modes or args.backends != "analytic"):
+        return smoke_spec(name=args.name, iterations=args.iterations)
+    modes = None
+    if args.modes:
+        modes = tuple(
+            StreamBufferMode[m.strip().upper()]  # accept names: hybrid, register_only
+            for m in args.modes.split(",")
+            if m.strip()
+        )
+    return SweepSpec(
+        name=args.name,
+        base=StencilProblem.paper_example(11, 11),
+        grid_sizes=_parse_grid_list(args.grids) if args.grids else None,
+        max_stream_reaches=_parse_reach_list(args.reaches) if args.reaches else None,
+        modes=modes,
+        backends=tuple(b.strip() for b in args.backends.split(",") if b.strip()),
+        iterations=args.iterations,
+    )
+
+
+def main(argv=None) -> int:
+    """CLI driver; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Run a declarative, resumable evaluation campaign.",
+    )
+    parser.add_argument("--name", default="smoke", help="campaign name (default: smoke)")
+    parser.add_argument("--grids", help='grid sizes, e.g. "11x11,24x24" (default: smoke set)')
+    parser.add_argument("--reaches", help='max stream reaches, e.g. "0,4,none"')
+    parser.add_argument("--modes", help='buffer modes, e.g. "hybrid,register_only"')
+    parser.add_argument("--backends", default="analytic", help="backends (default: analytic)")
+    parser.add_argument("--iterations", type=int, default=2, help="work-instances per point")
+    parser.add_argument("--jobs", "-j", type=int, default=1, help="parallel workers")
+    parser.add_argument("--checkpoint", help="JSONL checkpoint path (enables resume)")
+    parser.add_argument(
+        "--strategy",
+        default="grid",
+        choices=("grid", "random", "halving"),
+        help="search strategy (default: grid)",
+    )
+    parser.add_argument("--samples", type=int, default=16, help="random-strategy sample count")
+    parser.add_argument("--seed", type=int, default=0, help="random-strategy seed")
+    parser.add_argument("--eta", type=int, default=2, help="successive-halving reduction factor")
+    args = parser.parse_args(argv)
+
+    spec = build_spec(args)
+    strategy = get_strategy(args.strategy, samples=args.samples, seed=args.seed, eta=args.eta)
+    result = run_campaign(
+        spec, jobs=args.jobs, checkpoint=args.checkpoint, strategy=strategy
+    )
+    print(result.format())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

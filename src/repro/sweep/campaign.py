@@ -1,0 +1,257 @@
+"""Campaign orchestration: spec → runner → checkpoint → aggregated result.
+
+:func:`run_campaign` is the one entry point: it expands a
+:class:`~repro.sweep.spec.SweepSpec`, lets a search strategy decide which
+points to evaluate, shards the work over the chosen runner, appends every
+completed point to an optional JSONL checkpoint, and aggregates everything
+into a :class:`CampaignResult`.  The same call scales from one core
+(``jobs=1``) to many (``jobs=N``) and from a fresh run to a resumed one
+(same ``checkpoint`` path) without changing the result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.pipeline.cache import CacheInfo
+from repro.sweep.checkpoint import CampaignCheckpoint
+from repro.sweep.record import PointRecord, canonical_json
+from repro.sweep.runners import Runner, make_runner
+from repro.sweep.spec import SweepPoint, SweepSpec, fingerprint_points
+from repro.sweep.strategies import GridSearch, SearchStrategy, ranking_metric
+from repro.utils.pareto import pareto_front
+from repro.utils.tables import format_table
+
+
+def pareto_front_records(records: Sequence[PointRecord]) -> List[PointRecord]:
+    """The cycles / on-chip-memory Pareto front of a set of records.
+
+    A record survives unless some other record is at least as good on both
+    axes and strictly better on one — so exact ties survive together, and the
+    returned front preserves the input order (sort beforehand for a
+    deterministic report).  Timing-free records (no cycle count) are excluded.
+    """
+    candidates = [r for r in records if r.cycles is not None and r.total_bits is not None]
+    return pareto_front(candidates, key=lambda r: (r.cycles, r.total_bits))
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced, with reporting helpers."""
+
+    spec: SweepSpec
+    records: List[PointRecord] = field(default_factory=list)
+    evaluated: int = 0
+    resumed: int = 0
+    jobs: int = 1
+    strategy: str = "grid"
+    wall_seconds: float = 0.0
+    checkpoint_path: Optional[str] = None
+    #: Plan-cache counters of the freshly evaluated points, keyed by
+    #: (worker pid, runner invocation): counters are cumulative within one
+    #: ``Runner.run()`` call, and a multi-rung strategy triggers several.
+    worker_cache_info: Dict[Tuple[int, int], CacheInfo] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of records (evaluated + resumed)."""
+        return len(self.records)
+
+    def cache_info(self) -> CacheInfo:
+        """Plan-cache counters summed across every worker of this run."""
+        hits = sum(info.hits for info in self.worker_cache_info.values())
+        misses = sum(info.misses for info in self.worker_cache_info.values())
+        maxsize = sum(info.maxsize for info in self.worker_cache_info.values())
+        currsize = sum(info.currsize for info in self.worker_cache_info.values())
+        return CacheInfo(hits=hits, misses=misses, maxsize=maxsize, currsize=currsize)
+
+    @property
+    def worker_count(self) -> int:
+        """Distinct worker processes that evaluated fresh points."""
+        return len({worker for worker, _run in self.worker_cache_info})
+
+    def final_rung(self) -> List[PointRecord]:
+        """Records of the highest rung (the trusted stage of adaptive runs)."""
+        if not self.records:
+            return []
+        top = max(r.rung for r in self.records)
+        return [r for r in self.records if r.rung == top]
+
+    def best(
+        self, objective: Optional[Callable[[PointRecord], Tuple]] = None
+    ) -> Optional[PointRecord]:
+        """The winning record of the final rung (ties broken by point key)."""
+        candidates = [r for r in self.final_rung() if r.cycles is not None]
+        if not candidates:
+            return None
+        metric = objective or ranking_metric
+        return min(candidates, key=lambda r: (metric(r), r.key))
+
+    def pareto_front(self) -> List[PointRecord]:
+        """Cycles/memory Pareto front of the final rung, sorted for reports."""
+        front = pareto_front_records(self.final_rung())
+        return sorted(front, key=ranking_metric)
+
+    # ------------------------------------------------------------------ #
+    # determinism contract
+    # ------------------------------------------------------------------ #
+    def canonical_rows(self) -> List[dict]:
+        """Deterministic rows sorted by (rung, key) — no timing, no pids."""
+        ordered = sorted(self.records, key=lambda r: (r.rung, r.key))
+        return [r.canonical() for r in ordered]
+
+    def to_json(self) -> str:
+        """Byte-stable JSON: identical for serial and parallel runs."""
+        return canonical_json(self.records)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def format(self, max_rows: int = 20) -> str:
+        """Human-readable campaign report (used by the CLI and examples)."""
+        info = self.cache_info()
+        lines = [
+            f"campaign {self.spec.name!r}: {self.size} points "
+            f"({self.evaluated} evaluated, {self.resumed} resumed from checkpoint), "
+            f"strategy={self.strategy}, jobs={self.jobs}, "
+            f"{self.wall_seconds:.2f}s wall",
+            f"plan cache: {info.hits} hits / {info.misses} misses "
+            f"(hit rate {info.hit_rate:.1%}) across "
+            f"{max(1, self.worker_count)} worker(s)",
+        ]
+        if self.checkpoint_path:
+            lines.append(f"checkpoint: {self.checkpoint_path}")
+        front = {id(r) for r in self.pareto_front()}
+        best = self.best()
+        headers = ["point", "backend", "rung", "cycles", "DRAM KiB", "mem bits", "front", "best"]
+        shown = sorted(self.records, key=lambda r: (r.rung, ranking_metric(r)))
+        rows = [
+            [
+                r.label,
+                r.backend,
+                r.rung,
+                r.cycles if r.cycles is not None else "-",
+                f"{r.dram_traffic_kib:.1f}" if r.dram_traffic_kib is not None else "-",
+                r.total_bits if r.total_bits is not None else "-",
+                "*" if id(r) in front else "",
+                "<==" if best is not None and r is best else "",
+            ]
+            for r in shown[:max_rows]
+        ]
+        lines.append(format_table(headers, rows))
+        if len(shown) > max_rows:
+            lines.append(f"... and {len(shown) - max_rows} more rows")
+        return "\n".join(lines)
+
+
+def _aggregate_worker_caches(
+    fresh: Sequence[PointRecord],
+) -> Dict[Tuple[int, int], CacheInfo]:
+    """Last-seen cumulative plan-cache counters per (worker pid, run index).
+
+    Counters reset at the start of each ``Runner.run()`` invocation, so the
+    per-invocation maxima are disjoint contributions that sum to the
+    campaign total — even when a serial multi-rung strategy reuses one pid.
+    """
+    per_worker: Dict[Tuple[int, int], CacheInfo] = {}
+    for record in fresh:
+        meta = record.meta
+        worker = meta.get("worker")
+        if worker is None or "cache_hits" not in meta:
+            continue
+        key = (worker, meta.get("run", 0))
+        info = CacheInfo(
+            hits=int(meta.get("cache_hits", 0)),
+            misses=int(meta.get("cache_misses", 0)),
+            maxsize=0,
+            currsize=int(meta.get("cache_size", 0)),
+        )
+        seen = per_worker.get(key)
+        if seen is None or (info.hits + info.misses) > (seen.hits + seen.misses):
+            per_worker[key] = info
+    return per_worker
+
+
+def run_campaign(
+    spec: SweepSpec,
+    jobs: int = 1,
+    checkpoint: Optional[Union[str, CampaignCheckpoint]] = None,
+    strategy: Optional[SearchStrategy] = None,
+    runner: Optional[Runner] = None,
+    chunksize: Optional[int] = None,
+) -> CampaignResult:
+    """Run (or resume) a campaign and aggregate it into a result.
+
+    Parameters
+    ----------
+    spec:
+        The declarative problem space.
+    jobs:
+        Parallelism degree; ``jobs > 1`` shards points over a process pool.
+        Ignored when an explicit ``runner`` is given.
+    checkpoint:
+        JSONL path (or prepared :class:`CampaignCheckpoint`).  Completed
+        points found there are *not* re-evaluated; fresh completions are
+        appended as they finish, so a killed run resumes where it stopped.
+    strategy:
+        Search strategy; defaults to exhaustive :class:`GridSearch`.
+    runner:
+        Explicit executor, overriding ``jobs`` (used by tests).
+    """
+    t0 = time.perf_counter()
+    strategy = strategy or GridSearch()
+    runner = runner or make_runner(jobs, chunksize=chunksize)
+    points = spec.expand()  # expanded and fingerprinted exactly once per run
+    fingerprint = fingerprint_points(spec.name, points)
+    store = None
+    if checkpoint is not None:
+        store = (
+            checkpoint
+            if isinstance(checkpoint, CampaignCheckpoint)
+            else CampaignCheckpoint(checkpoint)
+        )
+    done: Dict[str, PointRecord] = (
+        store.load(fingerprint=fingerprint) if store is not None else {}
+    )
+    if store is not None:
+        store.open_for_append(spec, fingerprint=fingerprint, total_points=len(points))
+    fresh: List[PointRecord] = []
+    resumed_keys = set()
+
+    def run_points(points: Sequence[SweepPoint]) -> List[PointRecord]:
+        todo, keys, queued = [], [], set()
+        for point in points:
+            key = point.key()
+            keys.append(key)
+            if key in done:
+                resumed_keys.add(key)
+            elif key not in queued:  # identical points evaluate once
+                queued.add(key)
+                todo.append(point)
+        on_result = store.append if store is not None else None
+        for record in runner.run(todo, on_result=on_result):
+            done[record.key] = record
+            fresh.append(record)
+        return [done[key] for key in keys]
+
+    try:
+        records = strategy.execute(points, run_points)
+    finally:
+        if store is not None:
+            store.close()
+    return CampaignResult(
+        spec=spec,
+        records=records,
+        evaluated=len(fresh),
+        resumed=len(resumed_keys),
+        jobs=runner.jobs,
+        strategy=strategy.name,
+        wall_seconds=time.perf_counter() - t0,
+        checkpoint_path=store.path if store is not None else None,
+        worker_cache_info=_aggregate_worker_caches(fresh),
+    )

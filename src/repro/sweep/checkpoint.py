@@ -1,0 +1,151 @@
+"""Resumable JSONL campaign checkpoints.
+
+One file per campaign.  The first line is a header carrying the spec's
+fingerprint; every later line is one completed
+:class:`~repro.sweep.record.PointRecord`.  Appends are flushed line-by-line,
+so a killed campaign leaves a valid prefix: on restart the campaign loads the
+completed keys, skips them, and only evaluates what is missing.
+
+A half-written trailing line (the likely artefact of a hard kill) is
+tolerated and dropped; a header whose fingerprint does not match the spec
+being resumed raises :class:`CheckpointMismatch` rather than silently mixing
+two campaigns in one file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, TextIO
+
+from repro.sweep.record import PointRecord
+from repro.sweep.spec import SweepSpec
+
+#: Version tag of the checkpoint file format.
+CHECKPOINT_FORMAT = 1
+
+
+class CheckpointMismatch(RuntimeError):
+    """The checkpoint on disk belongs to a different campaign spec."""
+
+
+class CampaignCheckpoint:
+    """Append-only JSONL store of completed sweep points."""
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._fh: Optional[TextIO] = None
+        self.dropped_lines = 0
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def load(
+        self,
+        spec: Optional[SweepSpec] = None,
+        fingerprint: Optional[str] = None,
+    ) -> Dict[str, PointRecord]:
+        """Completed records keyed by point key (empty when no file yet).
+
+        When ``spec`` (or a precomputed ``fingerprint``) is given, the header
+        fingerprint is verified against it.
+        """
+        expected = fingerprint if fingerprint is not None else (
+            spec.fingerprint() if spec is not None else None
+        )
+        records: Dict[str, PointRecord] = {}
+        self.dropped_lines = 0
+        if not os.path.exists(self.path):
+            return records
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    # A truncated tail from a killed run; everything before it
+                    # is intact, so drop the fragment and carry on.
+                    self.dropped_lines += 1
+                    continue
+                kind = payload.get("kind")
+                if kind == "header":
+                    found = payload.get("fingerprint")
+                    if expected is not None and found != expected:
+                        raise CheckpointMismatch(
+                            f"checkpoint {self.path!r} was written for campaign "
+                            f"{payload.get('name')!r} (fingerprint {found}); "
+                            "refusing to resume a campaign with fingerprint "
+                            f"{expected} from it"
+                        )
+                elif kind == "record":
+                    record = PointRecord.from_json_dict(payload)
+                    records[record.key] = record
+        return records
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def open_for_append(
+        self,
+        spec: SweepSpec,
+        fingerprint: Optional[str] = None,
+        total_points: Optional[int] = None,
+    ) -> None:
+        """Open the file, writing the header when the file is new.
+
+        ``fingerprint``/``total_points`` may be passed precomputed to avoid
+        re-expanding the spec.  A hard kill can leave a truncated trailing
+        line without a newline; terminate it first so the next append starts
+        a fresh line instead of gluing onto the fragment (which would lose
+        that record on reload).
+        """
+        is_new = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        needs_newline = False
+        if not is_new:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                needs_newline = fh.read(1) != b"\n"
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if needs_newline:
+            self._fh.write("\n")
+            self._fh.flush()
+        if is_new:
+            header = {
+                "kind": "header",
+                "format": CHECKPOINT_FORMAT,
+                "name": spec.name,
+                "fingerprint": fingerprint if fingerprint is not None else spec.fingerprint(),
+                "total_points": (
+                    total_points if total_points is not None else len(spec.expand())
+                ),
+            }
+            self._write_line(header)
+
+    def append(self, record: PointRecord) -> None:
+        """Persist one completed point (flushed immediately)."""
+        if self._fh is None:
+            raise RuntimeError("checkpoint is not open; call open_for_append() first")
+        payload = record.to_json_dict()
+        payload["kind"] = "record"
+        self._write_line(payload)
+
+    def _write_line(self, payload: dict) -> None:
+        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignCheckpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

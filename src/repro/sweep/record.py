@@ -1,0 +1,149 @@
+"""The campaign's unit of persisted data: one evaluated point, one record.
+
+A :class:`PointRecord` is the slim, JSON-serialisable projection of an
+:class:`~repro.pipeline.backends.EvaluationResult`: every deterministic
+metric a report or a search strategy needs, none of the heavyweight payload
+(output grids, live simulation objects).  Records split cleanly into
+
+* a **canonical** part — metrics that must be byte-identical between a serial
+  and a parallel run of the same spec (the determinism contract tested by
+  ``tests/sweep``), and
+* a **meta** part — wall-clock time, worker pid and per-worker plan-cache
+  counters, which vary run to run and are excluded from canonical output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.pipeline.backends import EvaluationResult
+
+#: The deterministic fields, in canonical serialisation order.
+CANONICAL_FIELDS = (
+    "key",
+    "label",
+    "backend",
+    "system",
+    "iterations",
+    "rung",
+    "cycles",
+    "dram_words_read",
+    "dram_words_written",
+    "dram_bytes",
+    "operations",
+    "total_bits",
+    "fmax_mhz",
+    "extra",
+)
+
+
+@dataclass
+class PointRecord:
+    """One completed sweep point, ready for checkpointing and aggregation."""
+
+    key: str
+    label: str
+    backend: str
+    system: str
+    iterations: int = 0
+    rung: int = 0
+    cycles: Optional[int] = None
+    dram_words_read: Optional[int] = None
+    dram_words_written: Optional[int] = None
+    dram_bytes: Optional[int] = None
+    operations: Optional[int] = None
+    total_bits: Optional[int] = None
+    fmax_mhz: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+    #: Non-deterministic run information (wall_seconds, worker, cache_*).
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: The full evaluation result, attached only when the runner is asked to
+    #: keep it (never serialised, never compared).
+    result: Optional[EvaluationResult] = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_result(
+        cls,
+        key: str,
+        label: str,
+        result: EvaluationResult,
+        rung: int = 0,
+        meta: Optional[Dict[str, Any]] = None,
+        keep_result: bool = False,
+    ) -> "PointRecord":
+        """Project an evaluation result onto the slim record shape."""
+        return cls(
+            key=key,
+            label=label,
+            backend=result.backend,
+            system=result.system,
+            iterations=result.iterations,
+            rung=rung,
+            cycles=result.cycles,
+            dram_words_read=result.dram_words_read,
+            dram_words_written=result.dram_words_written,
+            dram_bytes=result.dram_bytes,
+            operations=result.operations,
+            total_bits=result.design.total_memory_bits,
+            fmax_mhz=result.design.fmax_mhz,
+            extra=dict(result.extra),
+            meta=dict(meta or {}),
+            result=result if keep_result else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def dram_traffic_kib(self) -> Optional[float]:
+        """Total DRAM traffic in KiB (``None`` for workload-free backends)."""
+        return self.dram_bytes / 1024.0 if self.dram_bytes is not None else None
+
+    def execution_time_us(self, frequency_mhz: Optional[float] = None) -> float:
+        """Execution time in microseconds (defaults to the design's Fmax)."""
+        if self.cycles is None:
+            raise ValueError(f"backend {self.backend!r} produced no cycle count")
+        fmax = frequency_mhz if frequency_mhz is not None else self.fmax_mhz
+        if fmax is None or not fmax > 0:
+            raise ValueError(f"frequency_mhz must be positive, got {fmax!r}")
+        return self.cycles / fmax
+
+    def mops(self, frequency_mhz: Optional[float] = None) -> float:
+        """Millions of kernel operations per second."""
+        time_us = self.execution_time_us(frequency_mhz)
+        if not time_us or self.operations is None:
+            return 0.0
+        return self.operations / time_us
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def canonical(self) -> Dict[str, Any]:
+        """The deterministic projection, with a fixed field order."""
+        return {name: getattr(self, name) for name in CANONICAL_FIELDS}
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The full checkpoint payload (canonical fields plus meta)."""
+        payload = self.canonical()
+        payload["meta"] = self.meta
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "PointRecord":
+        """Rebuild a record from a checkpoint line."""
+        kwargs = {name: payload.get(name) for name in CANONICAL_FIELDS}
+        kwargs["meta"] = dict(payload.get("meta") or {})
+        return cls(**kwargs)
+
+
+def canonical_json(records: List[PointRecord]) -> str:
+    """Byte-stable JSON of many records, sorted by (rung, key).
+
+    This is the determinism contract: a parallel campaign must produce output
+    byte-identical to the serial runner on the same spec.
+    """
+    rows = [r.canonical() for r in sorted(records, key=lambda r: (r.rung, r.key))]
+    return json.dumps(rows, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,268 @@
+"""Pluggable sweep executors: in-process serial and process-pool parallel.
+
+Both runners share one contract: ``run(points)`` evaluates every
+:class:`~repro.sweep.spec.SweepPoint` and returns one
+:class:`~repro.sweep.record.PointRecord` per point, **in input order**, while
+an optional ``on_result`` callback observes records as they complete (the
+campaign layer appends them to the JSONL checkpoint there).
+
+The :class:`ProcessPoolRunner` shards the point list into contiguous chunks
+and ships whole chunks to workers.  Two things make this fast:
+
+* evaluation happens entirely in the worker — including :func:`compile`,
+  which dominates broad analytic sweeps — so the parent only unpickles slim
+  records;
+* pool workers live for the whole run and keep their module-global plan
+  cache warm, and chunking keeps points that share a compiled design (e.g.
+  the smache/baseline pair of one problem) on the same worker.
+
+Each record's ``meta`` carries the worker pid and that worker's cumulative
+plan-cache counters, so :class:`~repro.sweep.campaign.CampaignResult` can
+report cache behaviour across the whole pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import replace
+from math import ceil
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.pipeline.backends import get_backend
+from repro.pipeline.cache import CacheInfo, plan_cache
+from repro.pipeline.compile import compile as compile_problem
+from repro.sweep.record import PointRecord
+from repro.sweep.spec import SweepPoint
+
+#: Callback observing each record as it completes (checkpoint append hook).
+ResultCallback = Callable[[PointRecord], None]
+
+
+def _cache_meta(baseline: Optional[CacheInfo] = None) -> Dict[str, int]:
+    """Plan-cache counters relative to ``baseline`` (absolute when None)."""
+    info = plan_cache.cache_info()
+    hits, misses = info.hits, info.misses
+    if baseline is not None:
+        hits -= baseline.hits
+        misses -= baseline.misses
+    return {"cache_hits": hits, "cache_misses": misses, "cache_size": info.currsize}
+
+
+def _evaluate_point(
+    point: SweepPoint,
+    keep_result: bool,
+    cache_baseline: Optional[CacheInfo] = None,
+    strip_artifacts: bool = False,
+    run_index: int = 0,
+) -> PointRecord:
+    """Evaluate one point against this process's warm plan cache."""
+    t0 = time.perf_counter()
+    design = compile_problem(point.problem)
+    t1 = time.perf_counter()
+    result = get_backend(point.backend).evaluate(design, point.request)
+    t2 = time.perf_counter()
+    if keep_result and strip_artifacts:
+        # Live simulation objects do not belong on the wire; metrics, the
+        # design and the output grid survive the process boundary.
+        result = replace(result, artifacts={})
+    meta = {
+        "wall_seconds": t2 - t0,
+        # Backend time alone, excluding (possibly cold) compilation — what
+        # e.g. the E5 speedup column compares between backends.
+        "eval_seconds": t2 - t1,
+        "worker": os.getpid(),
+        "run": run_index,
+    }
+    meta.update(_cache_meta(cache_baseline))
+    return PointRecord.from_result(
+        point.key(),
+        point.display_label,
+        result,
+        rung=point.rung,
+        meta=meta,
+        keep_result=keep_result,
+    )
+
+
+#: First-use snapshot of this process's plan-cache counters.  A forked worker
+#: inherits the parent's counters (and possibly a warm cache); subtracting
+#: the snapshot makes reported stats mean "work done by this worker".
+_WORKER_BASELINE: Optional[CacheInfo] = None
+_WORKER_PID: Optional[int] = None
+
+
+def _worker_cache_baseline() -> CacheInfo:
+    global _WORKER_BASELINE, _WORKER_PID
+    pid = os.getpid()
+    if _WORKER_PID != pid:
+        _WORKER_PID = pid
+        _WORKER_BASELINE = plan_cache.cache_info()
+    return _WORKER_BASELINE
+
+
+def _evaluate_chunk(args: Tuple[Sequence[SweepPoint], bool, int]) -> List[PointRecord]:
+    """Worker entry point: evaluate one contiguous shard of the sweep."""
+    points, keep_results, run_index = args
+    baseline = _worker_cache_baseline()
+    return [
+        _evaluate_point(
+            p,
+            keep_result=keep_results,
+            cache_baseline=baseline,
+            strip_artifacts=True,
+            run_index=run_index,
+        )
+        for p in points
+    ]
+
+
+class Runner:
+    """Base class: execute sweep points, preserving input order.
+
+    Each ``run()`` invocation gets a fresh index, recorded in every record's
+    ``meta["run"]``: cache counters are cumulative *within* one invocation,
+    so aggregation must distinguish invocations (a multi-rung strategy calls
+    ``run()`` once per rung, possibly reusing worker pids).
+    """
+
+    #: Degree of parallelism the runner provides.
+    jobs: int = 1
+
+    def _next_run_index(self) -> int:
+        # Lazy so Runner subclasses need not chain __init__.
+        self._run_counter = getattr(self, "_run_counter", 0) + 1
+        return self._run_counter
+
+    def run(
+        self,
+        points: Sequence[SweepPoint],
+        on_result: Optional[ResultCallback] = None,
+        keep_results: bool = False,
+    ) -> List[PointRecord]:
+        """Evaluate every point (must be overridden)."""
+        raise NotImplementedError
+
+
+def _run_in_process(
+    points: Sequence[SweepPoint],
+    on_result: Optional[ResultCallback],
+    keep_results: bool,
+    strip_artifacts: bool,
+    run_index: int,
+) -> List[PointRecord]:
+    """The shared in-process loop of SerialRunner and the pool's 1-job fallback."""
+    baseline = plan_cache.cache_info()
+    records = []
+    for point in points:
+        record = _evaluate_point(
+            point,
+            keep_result=keep_results,
+            cache_baseline=baseline,
+            strip_artifacts=strip_artifacts,
+            run_index=run_index,
+        )
+        records.append(record)
+        if on_result is not None:
+            on_result(record)
+    return records
+
+
+class SerialRunner(Runner):
+    """The in-process reference executor: one point after another."""
+
+    jobs = 1
+
+    def run(
+        self,
+        points: Sequence[SweepPoint],
+        on_result: Optional[ResultCallback] = None,
+        keep_results: bool = False,
+    ) -> List[PointRecord]:
+        return _run_in_process(
+            points,
+            on_result,
+            keep_results,
+            strip_artifacts=False,
+            run_index=self._next_run_index(),
+        )
+
+
+class ProcessPoolRunner(Runner):
+    """Chunked sharding over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.
+    chunksize:
+        Points per shard; defaults to about four shards per worker so the
+        pool stays busy while chunks remain large enough to amortise IPC and
+        keep cache-sharing points together.
+    start_method:
+        Multiprocessing start method; defaults to ``fork`` where available
+        (cheap on Linux), otherwise the platform default.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        chunksize: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be positive")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be positive")
+        self.jobs = jobs
+        self.chunksize = chunksize
+        if start_method is None and "fork" in multiprocessing.get_all_start_methods():
+            start_method = "fork"
+        self.start_method = start_method
+
+    def _context(self):
+        if self.start_method is None:
+            return None
+        return multiprocessing.get_context(self.start_method)
+
+    def run(
+        self,
+        points: Sequence[SweepPoint],
+        on_result: Optional[ResultCallback] = None,
+        keep_results: bool = False,
+    ) -> List[PointRecord]:
+        points = list(points)
+        if not points:
+            return []
+        run_index = self._next_run_index()
+        jobs = min(self.jobs, len(points))
+        if jobs == 1:
+            # In-process fallback honouring the parallel contract: same run
+            # tagging, and artifacts stripped exactly as the workers would.
+            return _run_in_process(
+                points, on_result, keep_results, strip_artifacts=True, run_index=run_index
+            )
+        chunksize = self.chunksize or max(1, ceil(len(points) / (jobs * 4)))
+        chunks = [points[i : i + chunksize] for i in range(0, len(points), chunksize)]
+        by_chunk: Dict[int, List[PointRecord]] = {}
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=self._context()) as pool:
+            futures = {
+                pool.submit(_evaluate_chunk, (chunk, keep_results, run_index)): index
+                for index, chunk in enumerate(chunks)
+            }
+            for future in as_completed(futures):
+                records = future.result()
+                by_chunk[futures[future]] = records
+                if on_result is not None:
+                    for record in records:
+                        on_result(record)
+        return [record for index in range(len(chunks)) for record in by_chunk[index]]
+
+
+def make_runner(jobs: int = 1, chunksize: Optional[int] = None) -> Runner:
+    """The standard runner for a given parallelism degree."""
+    if jobs <= 1:
+        return SerialRunner()
+    return ProcessPoolRunner(jobs=jobs, chunksize=chunksize)

@@ -1,0 +1,34 @@
+"""Generic Pareto-front selection under minimisation.
+
+One implementation of the dominance test shared by every sweep in the repo:
+the register/BRAM and cycles/memory fronts of :mod:`repro.dse.explorer` and
+the campaign front of :mod:`repro.sweep.campaign`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(items: Sequence[T], key: Callable[[T], Tuple]) -> List[T]:
+    """The non-dominated subset of ``items`` under coordinate-wise minimisation.
+
+    ``key`` maps an item to a tuple of objectives (smaller is better).  An
+    item is dominated when some other item is at least as good on every
+    objective and strictly better on at least one — so exact ties survive
+    together, and the returned front preserves the input order.
+    """
+    keyed = [(item, tuple(key(item))) for item in items]
+    front = []
+    for item, objectives in keyed:
+        dominated = any(
+            other is not item
+            and all(o <= s for o, s in zip(other_objectives, objectives))
+            and other_objectives != objectives
+            for other, other_objectives in keyed
+        )
+        if not dominated:
+            front.append(item)
+    return front

@@ -127,3 +127,28 @@ class TestFacade:
         result = evaluate(small_design, backend="reference", iterations=1)
         with pytest.raises(ValueError):
             result.execution_time_us()
+
+    @pytest.mark.parametrize("frequency", [0, -100.0])
+    def test_nonpositive_frequency_rejected(self, small_design, frequency):
+        """Zero/negative clocks raise a clear ValueError, never a divide-by-zero."""
+        result = evaluate(small_design, backend="analytic", iterations=1)
+        with pytest.raises(ValueError, match="must be positive"):
+            result.execution_time_us(frequency)
+        with pytest.raises(ValueError, match="must be positive"):
+            result.mops(frequency)
+
+    def test_nonpositive_design_fmax_rejected(self, small_design):
+        import dataclasses
+
+        result = evaluate(small_design, backend="analytic", iterations=1)
+        broken_synthesis = dataclasses.replace(small_design.synthesis, fmax_mhz=0.0)
+        broken = dataclasses.replace(small_design, synthesis=broken_synthesis)
+        result = dataclasses.replace(result, design=broken)
+        with pytest.raises(ValueError, match="Fmax must be positive"):
+            result.execution_time_us()
+
+    def test_cost_backend_reports_planner_comparison(self, small_design):
+        result = evaluate(small_design, backend="cost")
+        extra = result.extra
+        assert extra["plan_elements"] <= extra["stream_only_elements"]
+        assert extra["plan_elements"] == small_design.plan.total_cost_elements

@@ -115,6 +115,18 @@ class TestPlanCache:
         with pytest.raises(ValueError):
             PlanCache(max_entries=0)
 
+    def test_cache_info_reports_hits_misses_and_sizes(self):
+        cache = PlanCache(max_entries=8)
+        info = cache.cache_info()
+        assert info == (0, 0, 8, 0)
+        compile(StencilProblem.paper_example(7, 9), cache=cache)
+        compile(StencilProblem.paper_example(7, 9), cache=cache)
+        compile(StencilProblem.paper_example(9, 11), cache=cache)
+        info = cache.cache_info()
+        assert info.hits == 1 and info.misses == 2
+        assert info.maxsize == 8 and info.currsize == 2
+        assert info.hit_rate == pytest.approx(1 / 3)
+
     def test_cache_none_bypasses(self, paper_problem):
         first = compile(paper_problem, cache=None)
         second = compile(paper_problem, cache=None)

@@ -1,0 +1,63 @@
+"""Tests for the PointRecord shape: projection, serialisation, derived metrics."""
+
+import json
+
+import pytest
+
+from repro.pipeline import StencilProblem, compile, evaluate
+from repro.sweep.record import CANONICAL_FIELDS, PointRecord, canonical_json
+
+
+@pytest.fixture(scope="module")
+def analytic_record():
+    design = compile(StencilProblem.paper_example(7, 9))
+    result = evaluate(design, backend="analytic", iterations=3)
+    return PointRecord.from_result(
+        "k1", "p7x9", result, meta={"wall_seconds": 0.5, "worker": 42}
+    )
+
+
+class TestProjection:
+    def test_metrics_copied_from_result(self, analytic_record):
+        r = analytic_record
+        assert r.cycles > 0
+        assert r.dram_bytes > 0
+        assert r.total_bits > 0
+        assert r.fmax_mhz > 0
+        assert r.backend == "analytic"
+        assert r.result is None  # slim by default
+
+    def test_derived_metrics(self, analytic_record):
+        r = analytic_record
+        assert r.dram_traffic_kib == pytest.approx(r.dram_bytes / 1024)
+        assert r.execution_time_us() == pytest.approx(r.cycles / r.fmax_mhz)
+        assert r.mops() > 0
+
+    def test_derived_metric_guards(self, analytic_record):
+        with pytest.raises(ValueError, match="must be positive"):
+            analytic_record.execution_time_us(0)
+        timeless = PointRecord(key="k", label="l", backend="cost", system="smache")
+        with pytest.raises(ValueError, match="no cycle count"):
+            timeless.execution_time_us()
+
+
+class TestSerialisation:
+    def test_json_round_trip_preserves_canonical_fields(self, analytic_record):
+        line = json.dumps(analytic_record.to_json_dict())
+        restored = PointRecord.from_json_dict(json.loads(line))
+        assert restored.canonical() == analytic_record.canonical()
+        assert restored.meta == analytic_record.meta
+
+    def test_canonical_excludes_meta_and_result(self, analytic_record):
+        canonical = analytic_record.canonical()
+        assert set(canonical) == set(CANONICAL_FIELDS)
+        assert "meta" not in canonical
+
+    def test_canonical_json_sorts_by_rung_then_key(self):
+        records = [
+            PointRecord(key="b", label="b", backend="x", system="s", rung=0),
+            PointRecord(key="a", label="a", backend="x", system="s", rung=1),
+            PointRecord(key="a", label="a", backend="x", system="s", rung=0),
+        ]
+        rows = json.loads(canonical_json(records))
+        assert [(r["rung"], r["key"]) for r in rows] == [(0, "a"), (0, "b"), (1, "a")]

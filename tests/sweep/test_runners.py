@@ -1,0 +1,124 @@
+"""Tests for the executor layer: serial/parallel runners and evaluate_batch."""
+
+import pytest
+
+from repro.pipeline import EvaluationRequest, StencilProblem, evaluate, evaluate_batch
+from repro.sweep.record import canonical_json
+from repro.sweep.runners import ProcessPoolRunner, SerialRunner, make_runner
+from repro.sweep.spec import SweepSpec, smoke_spec
+
+
+@pytest.fixture(scope="module")
+def points():
+    return smoke_spec(iterations=2).expand()
+
+
+class TestSerialRunner:
+    def test_records_in_input_order(self, points):
+        records = SerialRunner().run(points)
+        assert [r.key for r in records] == [p.key() for p in points]
+
+    def test_callback_sees_every_record(self, points):
+        seen = []
+        SerialRunner().run(points, on_result=seen.append)
+        assert len(seen) == len(points)
+
+    def test_keep_results_attaches_full_results(self, points):
+        record = SerialRunner().run(points[:1], keep_results=True)[0]
+        assert record.result is not None
+        assert record.result.cycles == record.cycles
+        # Without the flag, records stay slim.
+        assert SerialRunner().run(points[:1])[0].result is None
+
+    def test_meta_carries_timing_and_cache_counters(self, points):
+        record = SerialRunner().run(points[:1])[0]
+        assert record.meta["wall_seconds"] >= 0
+        assert "cache_misses" in record.meta and "worker" in record.meta
+
+
+class TestProcessPoolRunner:
+    def test_parallel_matches_serial_byte_for_byte(self, points):
+        """The determinism contract of the whole engine."""
+        serial = SerialRunner().run(points)
+        parallel = ProcessPoolRunner(jobs=2).run(points)
+        assert canonical_json(parallel) == canonical_json(serial)
+
+    def test_records_in_input_order(self, points):
+        records = ProcessPoolRunner(jobs=2, chunksize=2).run(points)
+        assert [r.key for r in records] == [p.key() for p in points]
+
+    def test_callback_sees_every_record(self, points):
+        seen = []
+        ProcessPoolRunner(jobs=2).run(points, on_result=seen.append)
+        assert sorted(r.key for r in seen) == sorted(p.key() for p in points)
+
+    def test_keep_results_survives_the_process_boundary(self, points):
+        record = ProcessPoolRunner(jobs=2).run(points[:2], keep_results=True)[0]
+        assert record.result is not None
+        assert record.result.design.total_memory_bits == record.total_bits
+        # Live simulation objects are stripped before pickling.
+        assert record.result.artifacts == {}
+
+    def test_single_point_fallback_honours_the_parallel_contract(self, points):
+        records = ProcessPoolRunner(jobs=4).run(points[:1], keep_results=True)
+        assert len(records) == 1
+        # Artifacts are stripped exactly as a real worker would strip them,
+        # so behaviour does not depend on the batch length.
+        assert records[0].result is not None
+        assert records[0].result.artifacts == {}
+
+    def test_run_invocations_are_tagged(self, points):
+        runner = ProcessPoolRunner(jobs=2)
+        first = runner.run(points[:4])
+        second = runner.run(points[:4])
+        assert {r.meta["run"] for r in first} == {1}
+        assert {r.meta["run"] for r in second} == {2}
+
+    def test_empty_input(self):
+        assert ProcessPoolRunner(jobs=2).run([]) == []
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(jobs=0)
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(jobs=2, chunksize=0)
+
+    def test_make_runner_picks_by_jobs(self):
+        assert isinstance(make_runner(1), SerialRunner)
+        runner = make_runner(3)
+        assert isinstance(runner, ProcessPoolRunner) and runner.jobs == 3
+
+
+class TestParallelEvaluateBatch:
+    def test_results_match_serial_evaluation(self):
+        problems = [
+            StencilProblem.paper_example(7, 9),
+            StencilProblem.paper_example(9, 7),
+            StencilProblem.paper_example(11, 11),
+        ]
+        request = EvaluationRequest(iterations=3)
+        serial = [evaluate(p, backend="analytic", request=request) for p in problems]
+        parallel = evaluate_batch(
+            problems, backend="analytic", request=request, jobs=2
+        )
+        assert [r.cycles for r in parallel] == [r.cycles for r in serial]
+        assert [r.dram_bytes for r in parallel] == [r.dram_bytes for r in serial]
+        assert [r.design.problem.name for r in parallel] == [p.name for p in problems]
+
+    def test_simulate_backend_round_trips(self):
+        problems = [StencilProblem.paper_example(7, 9), StencilProblem.paper_example(9, 7)]
+        results = evaluate_batch(problems, backend="simulate", jobs=2, iterations=2)
+        for r in results:
+            assert r.cycles > 0
+            assert r.output is not None  # outputs survive the process boundary
+
+    def test_non_default_cache_stays_serial(self):
+        """A bypassed or custom cache cannot be shared with workers."""
+        from repro.pipeline.cache import PlanCache
+
+        problems = [StencilProblem.paper_example(7, 9), StencilProblem.paper_example(9, 7)]
+        bypassed = evaluate_batch(problems, jobs=2, cache=None, iterations=2)
+        custom = PlanCache()
+        cached = evaluate_batch(problems, jobs=2, cache=custom, iterations=2)
+        assert [r.cycles for r in bypassed] == [r.cycles for r in cached]
+        assert custom.cache_info().misses == 2  # really went through the custom cache

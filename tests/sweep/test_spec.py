@@ -1,0 +1,107 @@
+"""Tests for declarative sweep specs and stable point keys."""
+
+import pytest
+
+from repro.core.partition import StreamBufferMode
+from repro.pipeline import EvaluationRequest, StencilProblem
+from repro.sweep.spec import SweepPoint, SweepSpec, _parse_grid_list, _parse_reach_list
+
+
+def small_spec(**overrides):
+    kwargs = dict(
+        name="t",
+        base=StencilProblem.paper_example(11, 11),
+        grid_sizes=((11, 11), (16, 16)),
+        max_stream_reaches=(0, None),
+        backends=("analytic",),
+        iterations=2,
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+class TestSweepSpec:
+    def test_expansion_is_the_axis_product(self):
+        spec = small_spec(modes=(StreamBufferMode.HYBRID, StreamBufferMode.REGISTER_ONLY))
+        points = spec.expand()
+        assert len(points) == 2 * 2 * 2
+        assert spec.size == len(points)
+
+    def test_expansion_order_is_deterministic(self):
+        a = [p.key() for p in small_spec().expand()]
+        b = [p.key() for p in small_spec().expand()]
+        assert a == b
+
+    def test_point_names_are_unique(self):
+        spec = small_spec(modes=(StreamBufferMode.HYBRID, StreamBufferMode.REGISTER_ONLY))
+        names = [p.problem.name for p in spec.expand()]
+        assert len(set(names)) == len(names)
+
+    def test_keys_are_unique(self):
+        spec = small_spec(
+            modes=(StreamBufferMode.HYBRID, StreamBufferMode.REGISTER_ONLY),
+            systems=("smache", "baseline"),
+        )
+        keys = [p.key() for p in spec.expand()]
+        assert len(set(keys)) == len(keys)
+
+    def test_explicit_problem_list(self):
+        problems = [StencilProblem.paper_example(7, 9), StencilProblem.paper_example(9, 7)]
+        spec = SweepSpec.from_problems(problems, name="explicit")
+        assert [p.problem for p in spec.expand()] == problems
+
+    def test_needs_base_or_problems(self):
+        with pytest.raises(ValueError):
+            SweepSpec(name="empty")
+
+    def test_fingerprint_is_stable_and_axis_sensitive(self):
+        assert small_spec().fingerprint() == small_spec().fingerprint()
+        assert small_spec().fingerprint() != small_spec(iterations=3).fingerprint()
+        assert (
+            small_spec().fingerprint()
+            != small_spec(max_stream_reaches=(0, 4, None)).fingerprint()
+        )
+
+    def test_describe_mentions_size_and_backends(self):
+        text = small_spec().describe()
+        assert "4 points" in text and "analytic" in text
+
+
+class TestSweepPointKeys:
+    def test_key_depends_on_backend_and_request(self):
+        problem = StencilProblem.paper_example(11, 11)
+        base = SweepPoint(problem=problem)
+        assert base.key() == SweepPoint(problem=problem).key()
+        assert base.key() != SweepPoint(problem=problem, backend="simulate").key()
+        assert (
+            base.key()
+            != SweepPoint(problem=problem, request=EvaluationRequest(iterations=5)).key()
+        )
+        assert base.key() != SweepPoint(problem=problem, rung=1).key()
+
+    def test_key_hashes_explicit_input_grids(self):
+        import numpy as np
+
+        problem = StencilProblem.paper_example(7, 9)
+        g1 = np.zeros((7, 9))
+        g2 = np.ones((7, 9))
+        k1 = SweepPoint(problem=problem, request=EvaluationRequest(input_grid=g1)).key()
+        k2 = SweepPoint(problem=problem, request=EvaluationRequest(input_grid=g2)).key()
+        assert k1 != k2
+
+    def test_display_label_defaults_to_problem_name(self):
+        problem = StencilProblem.paper_example(11, 11)
+        assert SweepPoint(problem=problem).display_label == problem.name
+        assert SweepPoint(problem=problem, label="x").display_label == "x"
+
+
+class TestCliParsers:
+    def test_parse_grid_list(self):
+        assert _parse_grid_list("11x11, 16x24") == ((11, 11), (16, 24))
+        with pytest.raises(ValueError):
+            _parse_grid_list(" , ")
+
+    def test_parse_reach_list(self):
+        assert _parse_reach_list("0,4,none") == (0, 4, None)
+        with pytest.raises(ValueError):
+            _parse_reach_list("")
