@@ -42,7 +42,8 @@ from repro.pipeline import (
     evaluate,
 )
 from repro.pipeline.cache import PlanCache, plan_cache
-from repro.sweep import SweepSpec, run_campaign
+from repro.api import Workbench
+from repro.sweep import SweepSpec
 
 
 def sweep_candidates():
@@ -192,24 +193,25 @@ class TestParallelCampaignBenchmark:
         jobs = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
         cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
 
+        workbench = Workbench(jobs=jobs)
         clear_plan_cache()
         t0 = time.perf_counter()
-        serial = run_campaign(spec, jobs=1)
+        serial = workbench.run(spec, jobs=1)
         serial_seconds = time.perf_counter() - t0
 
         # Forked workers inherit the parent's plan cache; clear it before each
         # parallel run so the comparison measures real compilation work.
         clear_plan_cache()
-        parallel = run_once(benchmark, run_campaign, spec, jobs=jobs)
+        parallel = run_once(benchmark, workbench.run, spec)
         clear_plan_cache()
         t1 = time.perf_counter()
-        parallel_again = run_campaign(spec, jobs=jobs)
+        parallel_again = workbench.run(spec)
         parallel_seconds = max(time.perf_counter() - t1, 1e-9)
         speedup = serial_seconds / parallel_seconds
 
         checkpoint = tmp_path / "bench-campaign.jsonl"
-        first = run_campaign(spec, jobs=jobs, checkpoint=str(checkpoint))
-        resumed = run_campaign(spec, jobs=jobs, checkpoint=str(checkpoint))
+        first = workbench.run(spec, checkpoint=str(checkpoint))
+        resumed = workbench.run(spec, checkpoint=str(checkpoint))
 
         benchmark.extra_info.update(
             points=n_points,

@@ -29,11 +29,11 @@ import os
 import tempfile
 from dataclasses import replace
 
+from repro.api import Workbench
 from repro.core.config import SmacheConfig
 from repro.core.partition import StreamBufferMode
 from repro.dse import (
     explore_partitions,
-    explore_performance,
     minimise_bram_bits,
     minimise_registers,
     select_best,
@@ -42,7 +42,6 @@ from repro.dse.explorer import pareto_front
 from repro.fpga.device import small_device, stratix_v
 from repro.fpga.resources import ResourceUsage
 from repro.pipeline import StencilProblem
-from repro.sweep import SuccessiveHalving, SweepSpec, run_campaign
 
 GRID = (1024, 1024)
 
@@ -100,7 +99,8 @@ def main() -> None:
         )
         for reach in (8, 16, 32, 48, 96, None)
     ]
-    sweep = explore_performance(candidates, iterations=3, jobs=2)
+    workbench = Workbench(jobs=2)
+    sweep = workbench.explore(candidates, iterations=3)
     print(sweep.format())
     print(f"\n  {len(sweep.points)} candidates priced analytically, "
           f"{sweep.simulated_count} re-simulated (the Pareto front)")
@@ -108,26 +108,33 @@ def main() -> None:
           f"({sweep.selected.cycles} cycles, {sweep.selected.total_bits} bits on chip)")
 
     print("\n=== declarative campaign: spec -> run -> resume -> report ===")
-    spec = SweepSpec(
-        name="tradeoff",
-        base=StencilProblem.paper_example(48, 48),
-        grid_sizes=((24, 24), (48, 48), (96, 96)),
-        max_stream_reaches=(8, 32, None),
-        modes=(StreamBufferMode.HYBRID, StreamBufferMode.REGISTER_ONLY),
-        iterations=3,
-    )
     checkpoint = os.path.join(tempfile.mkdtemp(prefix="smache-campaign-"), "tradeoff.jsonl")
-    # Successive halving prices all 18 points analytically and re-simulates
-    # only the best half; two worker processes share the load.
-    campaign = run_campaign(
-        spec, jobs=2, checkpoint=checkpoint, strategy=SuccessiveHalving(eta=2)
-    )
+
+    def tradeoff_campaign():
+        # Successive halving prices all 18 points analytically and
+        # re-simulates only the best half; two worker processes share the
+        # load.  (`python -m repro.sweep follow <checkpoint>` can tail this
+        # from another terminal.)
+        return (
+            workbench.problem(StencilProblem.paper_example(48, 48))
+            .sweep(
+                "tradeoff",
+                grid_sizes=[(24, 24), (48, 48), (96, 96)],
+                max_stream_reaches=[8, 32, None],
+                modes=[StreamBufferMode.HYBRID, StreamBufferMode.REGISTER_ONLY],
+                iterations=3,
+            )
+            .strategy("halving", eta=2)
+            .checkpoint(checkpoint)
+            .run()
+        )
+
+    campaign = tradeoff_campaign()
     print(campaign.format(max_rows=12))
-    resumed = run_campaign(
-        spec, jobs=2, checkpoint=checkpoint, strategy=SuccessiveHalving(eta=2)
-    )
+    resumed = tradeoff_campaign()
     print(f"\n  re-run from {checkpoint}: {resumed.evaluated} evaluated, "
           f"{resumed.resumed} resumed from checkpoint (no point ran twice)")
+    print(f"  regression check vs first run: {campaign.diff(resumed).format()}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Tour of the unified experiment API: one `Workbench` for everything.
+
+The Workbench is the session object behind every experiment in this repo:
+it owns the plan cache, the evaluation backends, the runner policy and the
+campaign event stream.  This example walks the whole surface:
+
+1. build a problem fluently and evaluate it at three fidelities,
+2. run a declarative campaign with a live progress observer (points/sec,
+   ETA) and a resumable JSONL checkpoint,
+3. attach a custom observer to the campaign's typed event stream,
+4. resume the campaign (nothing re-runs) and diff the two results — the
+   regression-tracking primitive behind `python -m repro.sweep diff`.
+
+Run with:  python examples/workbench_tour.py
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.api import Workbench
+from repro.sweep import RunObserver
+
+
+class DramTrafficWatch(RunObserver):
+    """A custom observer: flag completed points with heavy DRAM traffic."""
+
+    def __init__(self, threshold_kib: float) -> None:
+        self.threshold_kib = threshold_kib
+        self.heavy = []
+
+    def on_point_completed(self, event) -> None:
+        record = event.record
+        if record.dram_traffic_kib and record.dram_traffic_kib > self.threshold_kib:
+            self.heavy.append(record)
+            print(f"  [watch] {record.label}: {record.dram_traffic_kib:.1f} KiB of DRAM traffic")
+
+
+def main() -> None:
+    workbench = Workbench(jobs=2)
+
+    print("=== one problem, three fidelities ===")
+    problem = workbench.problem(rows=11, cols=11).named("tour")
+    golden = problem.evaluate(backend="reference", iterations=20)
+    simulated = problem.evaluate(backend="simulate", iterations=20)
+    predicted = problem.evaluate(backend="analytic", iterations=20)
+    print(f"  reference ops : {golden.operations}")
+    print(f"  simulated     : {simulated.cycles} cycles")
+    print(f"  analytic      : {predicted.cycles} cycles "
+          f"({abs(predicted.cycles - simulated.cycles) / simulated.cycles:.1%} off)")
+
+    print("\n=== a campaign with live progress and a custom observer ===")
+    checkpoint = os.path.join(tempfile.mkdtemp(prefix="smache-tour-"), "tour.jsonl")
+    watch = DramTrafficWatch(threshold_kib=10.0)
+    campaign = (
+        problem.sweep(
+            "tour",
+            grid_sizes=[(11, 11), (16, 16), (24, 24)],
+            max_stream_reaches=[0, 4, None],
+            iterations=2,
+        )
+        .checkpoint(checkpoint)
+        .observe(watch)
+        .with_progress(stream=sys.stdout, min_interval=0.0)
+        .run()
+    )
+    print(campaign.format(max_rows=6))
+    print(f"  {len(watch.heavy)} heavy-traffic point(s) flagged by the observer")
+
+    print("\n=== resume + regression diff ===")
+    resumed = (
+        problem.sweep(
+            "tour",
+            grid_sizes=[(11, 11), (16, 16), (24, 24)],
+            max_stream_reaches=[0, 4, None],
+            iterations=2,
+        )
+        .checkpoint(checkpoint)
+        .run()
+    )
+    print(f"  resumed run: {resumed.evaluated} evaluated, {resumed.resumed} resumed")
+    print(f"  diff vs first run: {campaign.diff(resumed).format()}")
+    print(f"\n  plan cache this session: {workbench.cache_info().hits} hits / "
+          f"{workbench.cache_info().misses} misses")
+    print(f"  tail any live campaign with: python -m repro.sweep follow {checkpoint}")
+
+
+if __name__ == "__main__":
+    main()

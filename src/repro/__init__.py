@@ -42,8 +42,15 @@ The package is organised as:
 
 ``repro.sweep``
     The parallel sweep engine: declarative campaign specs, serial and
-    process-pool runners, resumable JSONL checkpoints and adaptive
-    search strategies.
+    process-pool runners (cost-balanced chunks), a typed run-event
+    stream with pluggable observers, resumable JSONL checkpoints
+    (compaction, live ``--follow`` tailing) and adaptive search
+    strategies.
+
+``repro.api``
+    The unified experiment API: the session-scoped :class:`Workbench`
+    owning the plan cache, backends, runner policy and observers, with
+    fluent problem/sweep builders.
 
 ``repro.eval``
     The experiment harness regenerating every table and figure of the
@@ -66,8 +73,10 @@ from repro.pipeline import (
     evaluate_batch,
 )
 from repro.sweep import CampaignResult, SweepSpec, run_campaign
+from repro.api import Workbench
 
 __all__ = [
+    "Workbench",
     "CampaignResult",
     "SweepSpec",
     "run_campaign",

@@ -1,0 +1,24 @@
+"""The unified experiment API: a session-scoped :class:`Workbench`.
+
+One object to hold what used to be five fragmented entry points:
+
+==============================  =============================================
+legacy entry point              Workbench equivalent
+==============================  =============================================
+``pipeline.compile(p)``         ``wb.compile(p)`` / ``wb.problem(...).compile()``
+``pipeline.evaluate(p, ...)``   ``wb.evaluate(p, ...)``
+``pipeline.evaluate_batch``     ``wb.evaluate_batch(problems, ...)``
+``sweep.run_campaign(spec)``    ``wb.run(spec)`` or the fluent
+                                ``wb.problem(...).sweep(...).run()``
+``dse.explore_performance``     ``wb.explore(problems, ...)``
+==============================  =============================================
+
+Campaigns run through the event-streaming engine of
+:mod:`repro.sweep.events`; attach observers session-wide
+(``Workbench(observers=[...])``) or per campaign
+(``.observe(...)`` / ``.with_progress()``).
+"""
+
+from repro.api.workbench import ProblemBuilder, SweepBuilder, Workbench
+
+__all__ = ["ProblemBuilder", "SweepBuilder", "Workbench"]

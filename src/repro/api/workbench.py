@@ -1,0 +1,452 @@
+"""The :class:`Workbench`: one session object for the whole experiment API.
+
+Historically "run an experiment" was spread over five surfaces —
+``compile()``, ``evaluate()``, ``evaluate_batch(jobs=)``, ``run_campaign()``
+and the ``dse`` explorer — each carrying its own cache, backend and
+parallelism arguments.  The Workbench unifies them: construct one per
+session, and it owns
+
+* the **plan cache** every compilation goes through,
+* the **runner policy** (default ``jobs``/chunking for batch and campaign
+  work),
+* the **default backend** for single evaluations and sweeps, and
+* the session's **observers**, attached to every campaign's event stream
+  (see :mod:`repro.sweep.events`).
+
+The fluent builders lower onto the exact same primitives as the legacy entry
+points (:class:`~repro.pipeline.problem.StencilProblem`,
+:class:`~repro.sweep.spec.SweepSpec`, the event-streaming campaign engine),
+so a Workbench campaign is byte-identical to a legacy ``run_campaign`` call
+on the same space::
+
+    from repro.api import Workbench
+
+    wb = Workbench(jobs=4)
+    result = (
+        wb.problem(rows=11, cols=11)
+        .sweep(grid_sizes=[(11, 11), (24, 24)], max_stream_reaches=[0, 4, None])
+        .checkpoint("reach-study.jsonl")
+        .with_progress()
+        .run()
+    )
+    print(result.format())
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, List, Optional, Sequence, Union
+
+from repro.core.boundary import BoundarySpec
+from repro.core.config import SmacheConfig
+from repro.core.partition import StreamBufferMode
+from repro.core.stencil import StencilShape
+from repro.pipeline.backends import (
+    EvaluationRequest,
+    EvaluationResult,
+    available_backends,
+    batch_evaluate,
+    evaluate as _evaluate,
+)
+from repro.pipeline.cache import CacheInfo, PlanCache, plan_cache
+from repro.pipeline.compile import CompiledDesign, compile as compile_problem
+from repro.pipeline.problem import StencilProblem
+from repro.reference.kernels import StencilKernel
+from repro.sweep.campaign import CampaignResult, execute_campaign
+from repro.sweep.checkpoint import CampaignCheckpoint
+from repro.sweep.events import ProgressReporter
+from repro.sweep.runners import Runner, make_runner
+from repro.sweep.spec import SweepSpec
+from repro.sweep.strategies import SearchStrategy, get_strategy
+
+
+class ProblemBuilder:
+    """Immutable fluent builder over a :class:`StencilProblem`.
+
+    Every ``with_*`` step returns a new builder, so partially configured
+    builders can be forked.  Terminal steps: :meth:`build` (the problem),
+    :meth:`compile` / :meth:`evaluate` (one-shot work through the session),
+    and :meth:`sweep` (a campaign over axes anchored at this problem).
+    """
+
+    def __init__(self, workbench: "Workbench", problem: StencilProblem) -> None:
+        self._workbench = workbench
+        self._problem = problem
+
+    def _with(self, **changes) -> "ProblemBuilder":
+        return ProblemBuilder(self._workbench, replace(self._problem, **changes))
+
+    # ------------------------------------------------------------------ #
+    # fluent configuration
+    # ------------------------------------------------------------------ #
+    def with_stencil(self, stencil: StencilShape) -> "ProblemBuilder":
+        """Use this stencil shape."""
+        return self._with(stencil=stencil)
+
+    def with_kernel(self, kernel: StencilKernel) -> "ProblemBuilder":
+        """Use this computation kernel."""
+        return self._with(kernel=kernel)
+
+    def with_boundary(self, boundary: BoundarySpec) -> "ProblemBuilder":
+        """Use this boundary specification."""
+        return self._with(boundary=boundary)
+
+    def with_mode(self, mode: StreamBufferMode) -> "ProblemBuilder":
+        """Use this stream-buffer partitioning mode."""
+        return self._with(mode=mode)
+
+    def with_grid(self, shape: Sequence[int], word_bytes: Optional[int] = None) -> "ProblemBuilder":
+        """Resize the grid (same word size unless overridden)."""
+        grid = self._problem.grid
+        return self._with(
+            grid=type(grid)(
+                shape=tuple(int(s) for s in shape),
+                word_bytes=word_bytes if word_bytes is not None else grid.word_bytes,
+            )
+        )
+
+    def with_reach(self, max_stream_reach: Optional[int]) -> "ProblemBuilder":
+        """Constrain the stream buffer's maximum reach (None = unconstrained)."""
+        return self._with(max_stream_reach=max_stream_reach)
+
+    def with_budget(self, max_total_bits: Optional[int]) -> "ProblemBuilder":
+        """Constrain the total on-chip memory budget."""
+        return self._with(max_total_bits=max_total_bits)
+
+    def named(self, name: str) -> "ProblemBuilder":
+        """Set the problem's report name."""
+        return self._with(name=name)
+
+    # ------------------------------------------------------------------ #
+    # terminals
+    # ------------------------------------------------------------------ #
+    def build(self) -> StencilProblem:
+        """The configured problem."""
+        return self._problem
+
+    def compile(self) -> CompiledDesign:
+        """Compile through the session's plan cache."""
+        return self._workbench.compile(self._problem)
+
+    def evaluate(self, backend: Optional[str] = None, **request_overrides) -> EvaluationResult:
+        """Compile and evaluate with the session's default backend."""
+        return self._workbench.evaluate(self._problem, backend=backend, **request_overrides)
+
+    def sweep(
+        self,
+        name: Optional[str] = None,
+        *,
+        grid_sizes: Optional[Sequence[Sequence[int]]] = None,
+        stencils: Optional[Sequence[StencilShape]] = None,
+        modes: Optional[Sequence[StreamBufferMode]] = None,
+        max_stream_reaches: Optional[Sequence[Optional[int]]] = None,
+        backends: Optional[Sequence[str]] = None,
+        systems: Optional[Sequence[str]] = None,
+        iterations: int = 1,
+        dram_timing=None,
+        write_through: bool = True,
+    ) -> "SweepBuilder":
+        """Open a campaign over axes anchored at this problem.
+
+        Axes default to "keep the problem's value"; every supplied axis
+        multiplies the space — the exact semantics of
+        :class:`~repro.sweep.spec.SweepSpec`, which this lowers to.
+        """
+        spec = SweepSpec(
+            name=name if name is not None else self._problem.name,
+            base=self._problem,
+            grid_sizes=tuple(tuple(g) for g in grid_sizes) if grid_sizes else None,
+            stencils=tuple(stencils) if stencils else None,
+            modes=tuple(modes) if modes else None,
+            max_stream_reaches=(
+                tuple(max_stream_reaches) if max_stream_reaches is not None else None
+            ),
+            backends=tuple(backends) if backends else (self._workbench.default_backend,),
+            systems=tuple(systems) if systems else ("smache",),
+            iterations=iterations,
+            dram_timing=dram_timing,
+            write_through=write_through,
+        )
+        return SweepBuilder(self._workbench, spec)
+
+
+class SweepBuilder:
+    """Fluent campaign configuration over a lowered :class:`SweepSpec`.
+
+    Execution knobs (jobs, checkpoint, strategy, observers) accumulate on
+    the builder; :meth:`run` hands everything to the session's campaign
+    engine.  :meth:`spec` exposes the lowered spec, so the same builder can
+    feed the legacy entry points or tests asserting on the expansion.
+    """
+
+    def __init__(self, workbench: "Workbench", spec: SweepSpec) -> None:
+        self._workbench = workbench
+        self._spec = spec
+        self._jobs: Optional[int] = None
+        self._checkpoint: Optional[Union[str, CampaignCheckpoint]] = None
+        self._strategy: Optional[SearchStrategy] = None
+        self._runner: Optional[Runner] = None
+        self._chunksize: Optional[int] = None
+        self._observers: List[Any] = []
+
+    # ------------------------------------------------------------------ #
+    def spec(self) -> SweepSpec:
+        """The lowered declarative spec."""
+        return self._spec
+
+    def jobs(self, jobs: int) -> "SweepBuilder":
+        """Override the session's parallelism for this campaign."""
+        self._jobs = jobs
+        return self
+
+    def chunksize(self, chunksize: Optional[int]) -> "SweepBuilder":
+        """Force fixed-size chunks (None keeps cost-aware chunking)."""
+        self._chunksize = chunksize
+        return self
+
+    def checkpoint(self, path: Union[str, CampaignCheckpoint]) -> "SweepBuilder":
+        """Persist completed points to a resumable JSONL checkpoint."""
+        self._checkpoint = path
+        return self
+
+    def strategy(self, strategy: Union[str, SearchStrategy], **kwargs) -> "SweepBuilder":
+        """Choose the search strategy (a name like ``"halving"`` or an instance)."""
+        self._strategy = (
+            get_strategy(strategy, **kwargs) if isinstance(strategy, str) else strategy
+        )
+        return self
+
+    def runner(self, runner: Runner) -> "SweepBuilder":
+        """Use an explicit executor (overrides jobs)."""
+        self._runner = runner
+        return self
+
+    def observe(self, *observers: Any) -> "SweepBuilder":
+        """Attach event observers for this campaign only."""
+        self._observers.extend(observers)
+        return self
+
+    def with_progress(self, stream=None, min_interval: float = 0.5) -> "SweepBuilder":
+        """Attach a live progress reporter (points/sec, ETA)."""
+        return self.observe(ProgressReporter(stream=stream, min_interval=min_interval))
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """One-line summary of the campaign about to run."""
+        return self._spec.describe()
+
+    def run(self) -> CampaignResult:
+        """Execute the campaign through the session's event-streaming engine."""
+        return self._workbench.run(
+            self._spec,
+            jobs=self._jobs,
+            checkpoint=self._checkpoint,
+            strategy=self._strategy,
+            runner=self._runner,
+            chunksize=self._chunksize,
+            observers=self._observers,
+        )
+
+
+class Workbench:
+    """Session facade unifying compile, evaluate, sweep and explore.
+
+    Parameters
+    ----------
+    jobs:
+        Default parallelism for batches and campaigns (overridable per call).
+    backend:
+        Default evaluation backend (``analytic``: price sweeps with the
+        closed-form model, re-simulate what matters).
+    cache:
+        The plan cache compilations go through.  Defaults to the
+        process-global cache, which is also the only cache worker processes
+        can share — a private :class:`PlanCache` keeps batches on the serial
+        path (exactly like the legacy ``evaluate_batch(cache=...)``).
+    observers:
+        Session-wide event observers, attached to every campaign this
+        workbench runs (per-campaign observers add on top).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        backend: str = "analytic",
+        cache: Optional[PlanCache] = plan_cache,
+        observers: Sequence[Any] = (),
+        chunksize: Optional[int] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be positive")
+        self.jobs = jobs
+        self.default_backend = backend
+        self.cache = cache
+        self.chunksize = chunksize
+        self.observers: List[Any] = list(observers)
+
+    @classmethod
+    def ensure(cls, workbench: Optional["Workbench"], jobs: int = 1) -> "Workbench":
+        """The caller's session, or a throwaway one at ``jobs``.
+
+        The shared idiom of every ``workbench=None`` compatibility seam
+        (:func:`repro.dse.explorer.explore_performance`, the eval
+        experiments): legacy callers keep their ``jobs`` argument working,
+        session callers keep their cache and runner policy.
+        """
+        return workbench if workbench is not None else cls(jobs=jobs)
+
+    # ------------------------------------------------------------------ #
+    # problems
+    # ------------------------------------------------------------------ #
+    def problem(
+        self,
+        base: Optional[Union[StencilProblem, SmacheConfig]] = None,
+        *,
+        rows: int = 11,
+        cols: int = 11,
+        **overrides,
+    ) -> ProblemBuilder:
+        """Open a fluent problem builder.
+
+        ``base`` may be an existing :class:`StencilProblem` or a plain
+        :class:`SmacheConfig`; without one, the paper's validation case at
+        ``rows × cols`` seeds the builder.  ``overrides`` are applied as
+        dataclass replacements (``mode=...``, ``max_stream_reach=...``).
+        """
+        if base is None:
+            problem = StencilProblem.paper_example(rows, cols)
+        elif isinstance(base, SmacheConfig):
+            problem = StencilProblem.from_config(base)
+        else:
+            problem = base
+        if overrides:
+            problem = replace(problem, **overrides)
+        return ProblemBuilder(self, problem)
+
+    def sweep(self, spec: SweepSpec) -> SweepBuilder:
+        """Wrap an existing declarative spec in the fluent campaign builder."""
+        return SweepBuilder(self, spec)
+
+    # ------------------------------------------------------------------ #
+    # one-shot work
+    # ------------------------------------------------------------------ #
+    def compile(self, problem: Union[StencilProblem, SmacheConfig]) -> CompiledDesign:
+        """Compile (memoized in the session's plan cache)."""
+        if isinstance(problem, SmacheConfig):
+            problem = StencilProblem.from_config(problem)
+        return compile_problem(problem, cache=self.cache)
+
+    def evaluate(
+        self,
+        problem,
+        backend: Optional[str] = None,
+        request: Optional[EvaluationRequest] = None,
+        **request_overrides,
+    ) -> EvaluationResult:
+        """Compile and evaluate one problem with the session's defaults."""
+        return _evaluate(
+            problem,
+            backend=backend or self.default_backend,
+            request=request,
+            cache=self.cache,
+            **request_overrides,
+        )
+
+    def evaluate_batch(
+        self,
+        problems: Sequence[Any],
+        backend: Optional[str] = None,
+        request: Optional[EvaluationRequest] = None,
+        jobs: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        **request_overrides,
+    ) -> List[EvaluationResult]:
+        """Evaluate many problems, sharded over the session's runner policy."""
+        return batch_evaluate(
+            problems,
+            backend=backend or self.default_backend,
+            request=request,
+            cache=self.cache,
+            jobs=jobs if jobs is not None else self.jobs,
+            chunksize=chunksize if chunksize is not None else self.chunksize,
+            **request_overrides,
+        )
+
+    # ------------------------------------------------------------------ #
+    # campaigns
+    # ------------------------------------------------------------------ #
+    def runner(self, jobs: Optional[int] = None) -> Runner:
+        """A runner at the session's (or an overridden) parallelism degree."""
+        return make_runner(
+            jobs if jobs is not None else self.jobs, chunksize=self.chunksize
+        )
+
+    def run(
+        self,
+        spec: Union[SweepSpec, SweepBuilder],
+        jobs: Optional[int] = None,
+        checkpoint: Optional[Union[str, CampaignCheckpoint]] = None,
+        strategy: Optional[SearchStrategy] = None,
+        runner: Optional[Runner] = None,
+        chunksize: Optional[int] = None,
+        observers: Sequence[Any] = (),
+        progress: bool = False,
+    ) -> CampaignResult:
+        """Run (or resume) a campaign through the event-streaming engine.
+
+        A :class:`SweepBuilder` may be passed directly: everything it
+        accumulated (jobs, checkpoint, strategy, runner, chunksize,
+        observers) carries over, with explicit arguments to this call taking
+        precedence.  Session observers, per-call ``observers`` and — with
+        ``progress=True`` — a live :class:`ProgressReporter` all consume the
+        same event stream; their failures are isolated on
+        ``result.observer_errors``.
+        """
+        extra_observers: List[Any] = []
+        if isinstance(spec, SweepBuilder):
+            builder = spec
+            jobs = jobs if jobs is not None else builder._jobs
+            checkpoint = checkpoint if checkpoint is not None else builder._checkpoint
+            strategy = strategy if strategy is not None else builder._strategy
+            runner = runner if runner is not None else builder._runner
+            chunksize = chunksize if chunksize is not None else builder._chunksize
+            extra_observers = list(builder._observers)
+            spec = builder.spec()
+        attached = list(self.observers) + extra_observers + list(observers)
+        if progress:
+            attached.append(ProgressReporter())
+        return execute_campaign(
+            spec,
+            jobs=jobs if jobs is not None else self.jobs,
+            checkpoint=checkpoint,
+            strategy=strategy,
+            runner=runner,
+            chunksize=chunksize if chunksize is not None else self.chunksize,
+            observers=attached,
+        )
+
+    # ------------------------------------------------------------------ #
+    # exploration and introspection
+    # ------------------------------------------------------------------ #
+    def explore(self, problems: Sequence[StencilProblem], **kwargs):
+        """Whole-problem performance sweep (analytic pricing + Pareto re-sim).
+
+        Delegates to :func:`repro.dse.explorer.explore_performance` with this
+        session as the batch engine; see there for parameters.
+        """
+        from repro.dse.explorer import explore_performance
+
+        return explore_performance(problems, workbench=self, **kwargs)
+
+    def add_observer(self, observer: Any) -> None:
+        """Attach a session-wide observer to every future campaign."""
+        self.observers.append(observer)
+
+    def backends(self) -> List[str]:
+        """Names of every registered evaluation backend."""
+        return available_backends()
+
+    def cache_info(self) -> CacheInfo:
+        """Counters of the session's plan cache."""
+        cache = self.cache if self.cache is not None else plan_cache
+        return cache.cache_info()

@@ -36,11 +36,7 @@ from repro.fpga.device import FPGADevice
 from repro.fpga.resources import ResourceUsage
 from repro.fpga.synthesis import SynthesisReport, synthesize_smache
 from repro.memory.dram import DRAMTiming
-from repro.pipeline.backends import (
-    EvaluationRequest,
-    EvaluationResult,
-    evaluate_batch,
-)
+from repro.pipeline.backends import EvaluationRequest, EvaluationResult
 from repro.pipeline.compile import CompiledDesign, compile as compile_problem
 from repro.pipeline.problem import StencilProblem
 from repro.utils.pareto import pareto_front as generic_pareto_front
@@ -251,7 +247,8 @@ def explore_performance(
     timing: Optional[DRAMTiming] = None,
     backend: str = "analytic",
     simulate_front: bool = True,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
+    workbench=None,
 ) -> PerformanceSweep:
     """Sweep whole problems: fast pricing, Pareto front, selective verification.
 
@@ -263,16 +260,25 @@ def explore_performance(
     picks the winner from the front using the verified numbers (objective
     ties broken by label, so the choice is deterministic).
 
-    Both stages run through the sweep engine's batch layer: with ``jobs > 1``
-    pricing *and* front re-simulation shard over a process pool
-    (:mod:`repro.sweep.runners`), so the same sweep scales from one core to N
-    unchanged.
+    Both stages run through the session's batch layer — pass an existing
+    :class:`repro.api.Workbench` to share its cache and runner policy, or
+    give ``jobs`` and a throwaway session is created (this is also what
+    :meth:`Workbench.explore` does).  With ``jobs > 1`` pricing *and* front
+    re-simulation shard over a process pool (:mod:`repro.sweep.runners`), so
+    the same sweep scales from one core to N unchanged.
     """
     if not problems:
         raise ValueError("explore_performance needs at least one problem")
+    from repro.api import Workbench
+
+    workbench = Workbench.ensure(workbench, jobs=jobs if jobs is not None else 1)
+    # An explicit jobs overrides the session; None inherits workbench.jobs.
+    jobs = jobs if jobs is not None else workbench.jobs
     objective = objective or _default_performance_objective
     request = EvaluationRequest(iterations=iterations, dram_timing=timing)
-    predictions = evaluate_batch(problems, backend=backend, request=request, jobs=jobs)
+    predictions = workbench.evaluate_batch(
+        problems, backend=backend, request=request, jobs=jobs
+    )
     points = []
     for predicted in predictions:
         if predicted.cycles is None:
@@ -288,7 +294,7 @@ def explore_performance(
             p.simulated = p.predicted
         simulated_count = len(points)
     elif simulate_front and front:
-        verified = evaluate_batch(
+        verified = workbench.evaluate_batch(
             [p.design for p in front], backend="simulate", request=request,
             jobs=min(jobs, len(front)),
         )

@@ -20,10 +20,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from repro.memory.dram import DRAMTiming
-from repro.pipeline import EvaluationRequest, StencilProblem, evaluate_batch
-from repro.sweep.runners import make_runner
+from repro.pipeline import EvaluationRequest, StencilProblem
 from repro.sweep.spec import SweepPoint
 from repro.utils.tables import format_table
+
+
+def _workbench(workbench, jobs: int):
+    """The session to run through: the caller's, or a throwaway at ``jobs``."""
+    from repro.api import Workbench
+
+    return Workbench.ensure(workbench, jobs=jobs)
 
 
 # --------------------------------------------------------------------------- #
@@ -74,9 +80,10 @@ class WriteThroughAblation:
 
 
 def run_write_through_ablation(
-    rows: int = 11, cols: int = 11, iterations: int = 20, jobs: int = 1
+    rows: int = 11, cols: int = 11, iterations: int = 20, jobs: int = 1, workbench=None
 ) -> WriteThroughAblation:
     """Run the Smache system with and without write-through (one 2-point sweep)."""
+    workbench = _workbench(workbench, jobs)
     problem = StencilProblem.paper_example(rows, cols)
     points = [
         SweepPoint(
@@ -87,7 +94,7 @@ def run_write_through_ablation(
         )
         for label, write_through in (("with", True), ("without", False))
     ]
-    records = {r.label: r for r in make_runner(jobs).run(points)}
+    records = {r.label: r for r in workbench.runner().run(points)}
     results = {
         label: {"cycles": float(rec.cycles), "dram_bytes": float(rec.dram_bytes)}
         for label, rec in records.items()
@@ -135,12 +142,15 @@ def run_dram_penalty_ablation(
     cols: int = 11,
     iterations: int = 10,
     jobs: int = 1,
+    workbench=None,
 ) -> DramPenaltyAblation:
     """Sweep the extra cost of non-burst DRAM accesses for both designs.
 
-    The penalties × systems grid runs as one sweep through the runner layer,
-    so ``jobs=N`` shards the simulations over a process pool.
+    The penalties × systems grid runs as one sweep through the session's
+    runner policy, so ``jobs=N`` (or the workbench's jobs) shards the
+    simulations over a process pool.
     """
+    workbench = _workbench(workbench, jobs)
     problem = StencilProblem.paper_example(rows, cols)
     points = [
         SweepPoint(
@@ -156,7 +166,7 @@ def run_dram_penalty_ablation(
         for penalty in penalties
         for system in ("baseline", "smache")
     ]
-    records = {r.label: r for r in make_runner(jobs).run(points)}
+    records = {r.label: r for r in workbench.runner().run(points)}
     result = DramPenaltyAblation()
     for penalty in penalties:
         result.penalties.append(penalty)
@@ -204,6 +214,7 @@ class PlannerAblation:
 def run_planner_ablation(
     grid_sizes: Sequence[Tuple[int, int]] = ((11, 11), (64, 64), (256, 256), (1024, 1024)),
     jobs: int = 1,
+    workbench=None,
 ) -> PlannerAblation:
     """Compare buffer sizes for three planning strategies across grid sizes.
 
@@ -212,8 +223,9 @@ def run_planner_ablation(
     stream-only window spanning the full offset range), so with ``jobs=N``
     the per-grid compilations shard over a process pool.
     """
+    workbench = _workbench(workbench, jobs)
     problems = [StencilProblem.paper_example(shape[0], shape[1]) for shape in grid_sizes]
-    evaluations = evaluate_batch(problems, backend="cost", jobs=jobs)
+    evaluations = workbench.evaluate_batch(problems, backend="cost")
     result = PlannerAblation()
     for shape, evaluation in zip(grid_sizes, evaluations):
         result.grid_sizes.append(tuple(shape))

@@ -26,7 +26,6 @@ from repro.pipeline import (
     ValidationReport,
 )
 from repro.pipeline.analytic import VALIDATED_METRICS, build_validation_report
-from repro.sweep.runners import make_runner
 from repro.sweep.spec import SweepPoint
 from repro.utils.tables import format_table
 
@@ -114,15 +113,23 @@ def _check_cases() -> List[Tuple[str, StencilProblem, int]]:
     ]
 
 
-def run_analytic_check(jobs: int = 1, tolerance: float = ANALYTIC_TOLERANCE) -> AnalyticCheckResult:
+def run_analytic_check(
+    jobs: int = 1,
+    tolerance: float = ANALYTIC_TOLERANCE,
+    workbench=None,
+) -> AnalyticCheckResult:
     """Cross-validate the analytic backend against the simulator.
 
     Every (configuration × system × backend) combination is one point of a
-    single sweep through the runner layer, so with ``jobs=N`` the expensive
-    simulations shard over a process pool; the validation reports are then
-    assembled from the paired records exactly as
+    single sweep through the session's runner policy (pass a
+    :class:`repro.api.Workbench`, or ``jobs`` builds a throwaway one), so
+    with ``jobs=N`` the expensive simulations shard over a process pool; the
+    validation reports are then assembled from the paired records exactly as
     :func:`repro.pipeline.analytic.validate_prediction` builds them in-process.
     """
+    from repro.api import Workbench
+
+    workbench = Workbench.ensure(workbench, jobs=jobs)
     points = []
     for label, problem, iterations in _check_cases():
         for system in ("smache", "baseline"):
@@ -135,7 +142,7 @@ def run_analytic_check(jobs: int = 1, tolerance: float = ANALYTIC_TOLERANCE) -> 
                         label=f"{label}/{system}/{backend}",
                     )
                 )
-    records = {r.label: r for r in make_runner(jobs).run(points)}
+    records = {r.label: r for r in workbench.runner().run(points)}
     result = AnalyticCheckResult(tolerance=tolerance)
     for label, _problem, iterations in _check_cases():
         for system in ("smache", "baseline"):

@@ -16,8 +16,7 @@ from typing import Dict, Optional
 from repro.arch.system import SimulationResult
 from repro.eval.paper_constants import PAPER_FIGURE2, PAPER_FIGURE2_SETUP, relative_error
 from repro.fpga.synthesis import synthesize_baseline
-from repro.pipeline import EvaluationRequest, StencilProblem, compile
-from repro.sweep.runners import make_runner
+from repro.pipeline import EvaluationRequest, StencilProblem
 from repro.sweep.spec import SweepPoint
 from repro.utils.tables import format_table
 
@@ -148,18 +147,23 @@ def run_figure2(
     iterations: int = PAPER_FIGURE2_SETUP["iterations"],
     keep_sim_results: bool = False,
     jobs: int = 1,
+    workbench=None,
 ) -> Figure2Result:
     """Run the Figure 2 experiment and return both rows.
 
     ``rows``/``cols``/``iterations`` default to the paper's setup; smaller
     values are used by the fast test-suite configuration.  Both designs run
-    as one two-point sweep through the sweep engine's runner layer, so with
-    ``jobs=2`` the baseline and Smache simulations execute concurrently.
+    as one two-point sweep through the session's runner policy (pass a
+    :class:`repro.api.Workbench`, or ``jobs`` builds a throwaway one), so
+    with ``jobs=2`` the baseline and Smache simulations execute concurrently.
     ``keep_sim_results`` needs the live simulation objects and therefore
     forces the serial runner.
     """
+    from repro.api import Workbench
+
+    workbench = Workbench.ensure(workbench, jobs=jobs)
     problem = StencilProblem.paper_example(rows, cols)
-    design = compile(problem)
+    design = workbench.compile(problem)
     points = [
         SweepPoint(
             problem=problem,
@@ -169,7 +173,7 @@ def run_figure2(
         )
         for system in ("baseline", "smache")
     ]
-    runner = make_runner(1 if keep_sim_results else jobs)
+    runner = workbench.runner(1 if keep_sim_results else None)
     records = {
         r.label: r for r in runner.run(points, keep_results=True)
     }

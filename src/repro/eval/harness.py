@@ -55,18 +55,18 @@ class EvaluationReport:
 
 
 #: Registry of experiments: name -> runner returning a formatted string.
-#: Every runner accepts ``jobs``; experiments that are sweeps (Figure 2, E5,
-#: the ablations) shard their points over the sweep engine's process-pool
-#: runner, the rest ignore the knob.
+#: Every runner accepts the session :class:`repro.api.Workbench`;
+#: experiments that are sweeps (Figure 2, E5, the ablations) shard their
+#: points over the session's runner policy, the rest ignore it.
 EXPERIMENTS: Dict[str, Callable[..., str]] = {
-    "figure2": lambda jobs=1: run_figure2(jobs=jobs).format(),
-    "table1": lambda jobs=1: run_table1().format(),
-    "resources": lambda jobs=1: run_resources().format(),
-    "hybrid": lambda jobs=1: run_hybrid_tradeoff().format(),
-    "analytic": lambda jobs=1: run_analytic_check(jobs=jobs).format(),
-    "ablation-writethrough": lambda jobs=1: run_write_through_ablation(jobs=jobs).format(),
-    "ablation-dram": lambda jobs=1: run_dram_penalty_ablation(jobs=jobs).format(),
-    "ablation-planner": lambda jobs=1: run_planner_ablation(jobs=jobs).format(),
+    "figure2": lambda wb: run_figure2(workbench=wb).format(),
+    "table1": lambda wb: run_table1().format(),
+    "resources": lambda wb: run_resources().format(),
+    "hybrid": lambda wb: run_hybrid_tradeoff().format(),
+    "analytic": lambda wb: run_analytic_check(workbench=wb).format(),
+    "ablation-writethrough": lambda wb: run_write_through_ablation(workbench=wb).format(),
+    "ablation-dram": lambda wb: run_dram_penalty_ablation(workbench=wb).format(),
+    "ablation-planner": lambda wb: run_planner_ablation(workbench=wb).format(),
 }
 
 TITLES: Dict[str, str] = {
@@ -81,17 +81,35 @@ TITLES: Dict[str, str] = {
 }
 
 
-def run_experiment(name: str, jobs: int = 1) -> ExperimentRecord:
-    """Run a single experiment by name (``jobs`` shards its sweeps)."""
+def run_experiment(name: str, jobs: int = 1, workbench=None) -> ExperimentRecord:
+    """Run a single experiment by name.
+
+    Experiments run through a :class:`repro.api.Workbench` session; pass an
+    existing one to share its plan cache and runner policy across
+    experiments (what :func:`run_all` does), or ``jobs`` builds a throwaway
+    session whose sweeps shard over a process pool.
+    """
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
-    text = EXPERIMENTS[name](jobs=jobs)
+    from repro.api import Workbench
+
+    text = EXPERIMENTS[name](Workbench.ensure(workbench, jobs=jobs))
     return ExperimentRecord(name=name, title=TITLES[name], text=text)
 
 
-def run_all(names: Optional[List[str]] = None, jobs: int = 1) -> EvaluationReport:
-    """Run the requested experiments (all of them by default)."""
+def run_all(
+    names: Optional[List[str]] = None, jobs: int = 1, workbench=None
+) -> EvaluationReport:
+    """Run the requested experiments (all of them by default).
+
+    One :class:`repro.api.Workbench` session is shared by every experiment,
+    so repeated compilations of the paper's validation case hit one plan
+    cache and every sweep uses one runner policy.
+    """
+    from repro.api import Workbench
+
+    workbench = Workbench.ensure(workbench, jobs=jobs)
     report = EvaluationReport()
     for name in names or list(EXPERIMENTS):
-        report.records.append(run_experiment(name, jobs=jobs))
+        report.records.append(run_experiment(name, workbench=workbench))
     return report

@@ -48,6 +48,7 @@ from repro.pipeline.backends import (
     EvaluationRequest,
     EvaluationResult,
     available_backends,
+    batch_evaluate,
     evaluate,
     evaluate_batch,
     get_backend,
@@ -72,6 +73,7 @@ __all__ = [
     "EvaluationRequest",
     "EvaluationResult",
     "available_backends",
+    "batch_evaluate",
     "evaluate",
     "evaluate_batch",
     "get_backend",

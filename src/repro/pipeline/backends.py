@@ -17,6 +17,7 @@ New backends register with :func:`register_backend`; workloads plug in at the
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -349,7 +350,7 @@ def evaluate(
     return get_backend(backend).evaluate(design, req)
 
 
-def evaluate_batch(
+def batch_evaluate(
     problems: Sequence[ProblemLike],
     backend: str = "analytic",
     request: Optional[EvaluationRequest] = None,
@@ -358,7 +359,10 @@ def evaluate_batch(
     chunksize: Optional[int] = None,
     **request_overrides,
 ) -> List[EvaluationResult]:
-    """Evaluate many problems with one backend (the sweep entry point).
+    """Evaluate many problems with one backend (the sweep batch layer).
+
+    This is the engine behind :meth:`repro.api.Workbench.evaluate_batch` and
+    the deprecated module-level :func:`evaluate_batch` shim.
 
     Defaults to the ``analytic`` backend: sweeps price the full space with the
     closed-form model and re-simulate only the designs that matter (see
@@ -396,3 +400,34 @@ def evaluate_batch(
     runner = ProcessPoolRunner(jobs=jobs, chunksize=chunksize)
     records = runner.run(points, keep_results=True)
     return [r.result for r in records]
+
+
+def evaluate_batch(
+    problems: Sequence[ProblemLike],
+    backend: str = "analytic",
+    request: Optional[EvaluationRequest] = None,
+    cache: Optional[PlanCache] = plan_cache,
+    jobs: int = 1,
+    chunksize: Optional[int] = None,
+    **request_overrides,
+) -> List[EvaluationResult]:
+    """Deprecated shim over :func:`batch_evaluate`.
+
+    .. deprecated::
+        Use :meth:`repro.api.Workbench.evaluate_batch`, which carries the
+        session's cache and runner policy instead of per-call arguments.
+    """
+    warnings.warn(
+        "evaluate_batch() is deprecated; use repro.api.Workbench().evaluate_batch()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return batch_evaluate(
+        problems,
+        backend=backend,
+        request=request,
+        cache=cache,
+        jobs=jobs,
+        chunksize=chunksize,
+        **request_overrides,
+    )

@@ -10,22 +10,59 @@ the records into a report.
   :class:`SweepPoint`\\ s with stable content keys;
 * :mod:`repro.sweep.runners` — the executor layer: :class:`SerialRunner`
   and the chunk-sharded :class:`ProcessPoolRunner` (warm per-worker plan
-  caches), also backing ``evaluate_batch(..., jobs=N)``;
-* :mod:`repro.sweep.checkpoint` — append-only JSONL checkpoints; a killed
-  campaign resumes without re-evaluating completed points;
+  caches, cost-balanced chunks);
+* :mod:`repro.sweep.events` — the typed :class:`RunEvent` stream every
+  campaign publishes (``PointStarted`` … ``CampaignFinished``), consumed by
+  pluggable observers: the live :class:`ProgressReporter`, the JSONL
+  :class:`CheckpointObserver` and the result aggregator;
+* :mod:`repro.sweep.checkpoint` — append-only JSONL checkpoints with
+  compaction; a killed campaign resumes without re-evaluating completed
+  points, and ``--follow`` tails the file live (:mod:`repro.sweep.follow`);
 * :mod:`repro.sweep.strategies` — grid, seeded-random and
   successive-halving (price analytically, re-simulate survivors) search;
-* :func:`run_campaign` / :class:`CampaignResult` — orchestration and the
+* :func:`execute_campaign` / :class:`CampaignResult` — orchestration and the
   aggregation/report API, with a byte-stable canonical serialisation so a
-  parallel campaign is provably identical to a serial one.
+  parallel campaign is provably identical to a serial one, and
+  :meth:`CampaignResult.diff` for regression tracking across PRs.
 
-Command line: ``python -m repro.sweep --help``.
+Prefer driving campaigns through :class:`repro.api.Workbench`;
+:func:`run_campaign` remains as a deprecated one-shot shim.
+
+Command line: ``python -m repro.sweep --help`` (subcommands: ``compact``,
+``diff``, ``follow``).
 """
 
 from repro.sweep.spec import SweepPoint, SweepSpec, smoke_spec
 from repro.sweep.record import PointRecord, canonical_json
-from repro.sweep.runners import ProcessPoolRunner, Runner, SerialRunner, make_runner
-from repro.sweep.checkpoint import CampaignCheckpoint, CheckpointMismatch
+from repro.sweep.runners import (
+    ProcessPoolRunner,
+    Runner,
+    SerialRunner,
+    cost_balanced_chunks,
+    make_runner,
+    point_cost_weight,
+)
+from repro.sweep.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointMismatch,
+    CompactionStats,
+)
+from repro.sweep.events import (
+    CampaignFinished,
+    CampaignStarted,
+    CheckpointFlushed,
+    CheckpointObserver,
+    EventBus,
+    EventLog,
+    ObserverError,
+    PointCompleted,
+    PointResumed,
+    PointStarted,
+    ProgressReporter,
+    RunEvent,
+    RunObserver,
+)
+from repro.sweep.follow import follow_checkpoint
 from repro.sweep.strategies import (
     GridSearch,
     RandomSearch,
@@ -33,7 +70,14 @@ from repro.sweep.strategies import (
     SuccessiveHalving,
     get_strategy,
 )
-from repro.sweep.campaign import CampaignResult, pareto_front_records, run_campaign
+from repro.sweep.campaign import (
+    CampaignDiff,
+    CampaignResult,
+    diff_canonical_rows,
+    execute_campaign,
+    pareto_front_records,
+    run_campaign,
+)
 
 __all__ = [
     "SweepPoint",
@@ -45,14 +89,34 @@ __all__ = [
     "SerialRunner",
     "ProcessPoolRunner",
     "make_runner",
+    "cost_balanced_chunks",
+    "point_cost_weight",
     "CampaignCheckpoint",
     "CheckpointMismatch",
+    "CompactionStats",
+    "RunEvent",
+    "CampaignStarted",
+    "PointStarted",
+    "PointCompleted",
+    "PointResumed",
+    "CheckpointFlushed",
+    "CampaignFinished",
+    "EventBus",
+    "EventLog",
+    "ObserverError",
+    "RunObserver",
+    "ProgressReporter",
+    "CheckpointObserver",
+    "follow_checkpoint",
     "SearchStrategy",
     "GridSearch",
     "RandomSearch",
     "SuccessiveHalving",
     "get_strategy",
+    "CampaignDiff",
     "CampaignResult",
+    "diff_canonical_rows",
+    "execute_campaign",
     "pareto_front_records",
     "run_campaign",
 ]

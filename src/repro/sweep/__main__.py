@@ -7,14 +7,26 @@ are not re-evaluated (the report counts them as *resumed*).
 
 Examples
 --------
-Run the smoke campaign on two workers with a resumable checkpoint::
+Run the smoke campaign on two workers with a resumable checkpoint and live
+progress (points/sec, ETA on stderr)::
 
-    python -m repro.sweep --jobs 2 --checkpoint campaign-smoke.jsonl
+    python -m repro.sweep --jobs 2 --checkpoint campaign-smoke.jsonl --progress
+
+Tail that campaign from another terminal (works across processes/hosts that
+share the file)::
+
+    python -m repro.sweep --follow campaign-smoke.jsonl
 
 A bigger declarative space with successive halving::
 
     python -m repro.sweep --grids 24x24,48x48,96x96 --reaches 0,8,none \\
         --modes hybrid,register_only --strategy halving --jobs 4
+
+Maintenance subcommands::
+
+    python -m repro.sweep compact campaign.jsonl     # drop superseded records
+    python -m repro.sweep diff new.jsonl old.jsonl   # regression tracking
+    python -m repro.sweep follow campaign.jsonl      # same as --follow
 """
 
 from __future__ import annotations
@@ -22,11 +34,17 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api import Workbench
 from repro.core.partition import StreamBufferMode
 from repro.pipeline.problem import StencilProblem
-from repro.sweep.campaign import run_campaign
+from repro.sweep.campaign import diff_canonical_rows
+from repro.sweep.checkpoint import CampaignCheckpoint
+from repro.sweep.follow import follow_checkpoint
 from repro.sweep.spec import SweepSpec, _parse_grid_list, _parse_reach_list, smoke_spec
 from repro.sweep.strategies import get_strategy
+
+#: Maintenance subcommands dispatched before flag parsing.
+SUBCOMMANDS = ("compact", "diff", "follow")
 
 
 def build_spec(args: argparse.Namespace) -> SweepSpec:
@@ -51,11 +69,81 @@ def build_spec(args: argparse.Namespace) -> SweepSpec:
     )
 
 
+# --------------------------------------------------------------------------- #
+# maintenance subcommands
+# --------------------------------------------------------------------------- #
+def _compact_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep compact",
+        description="Rewrite a JSONL checkpoint keeping only the latest record "
+        "per point key (header and fingerprint preserved).",
+    )
+    parser.add_argument("checkpoint", help="JSONL checkpoint path")
+    args = parser.parse_args(argv)
+    stats = CampaignCheckpoint(args.checkpoint).compact()
+    print(f"compacted {args.checkpoint}: {stats.format()}")
+    return 0
+
+
+def _checkpoint_rows(path: str):
+    """Canonical rows of a checkpoint, sorted by (rung, key)."""
+    records = CampaignCheckpoint(path).load()
+    ordered = sorted(records.values(), key=lambda r: (r.rung, r.key))
+    return [r.canonical() for r in ordered]
+
+
+def _diff_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep diff",
+        description="Diff two campaign checkpoints on their canonical rows "
+        "(regression tracking across PRs).  Exit code 0 when identical, "
+        "1 when they differ.",
+    )
+    parser.add_argument("new", help="the newer checkpoint (e.g. this PR's run)")
+    parser.add_argument("old", help="the older checkpoint to compare against")
+    args = parser.parse_args(argv)
+    diff = diff_canonical_rows(_checkpoint_rows(args.new), _checkpoint_rows(args.old))
+    print(diff.format())
+    return 0 if diff.identical else 1
+
+
+def _follow_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep follow",
+        description="Tail a live campaign checkpoint, printing points/sec and "
+        "ETA until the campaign completes.",
+    )
+    parser.add_argument("checkpoint", help="JSONL checkpoint path (may not exist yet)")
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="give up after this many seconds without new data (default: 60)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.25, help="seconds between file polls"
+    )
+    args = parser.parse_args(argv)
+    return follow_checkpoint(
+        args.checkpoint, poll_seconds=args.poll, idle_timeout=args.timeout
+    )
+
+
+# --------------------------------------------------------------------------- #
 def main(argv=None) -> int:
     """CLI driver; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        return {
+            "compact": _compact_main,
+            "diff": _diff_main,
+            "follow": _follow_main,
+        }[argv[0]](argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.sweep",
-        description="Run a declarative, resumable evaluation campaign.",
+        description="Run a declarative, resumable evaluation campaign "
+        "(subcommands: compact, diff, follow).",
     )
     parser.add_argument("--name", default="smoke", help="campaign name (default: smoke)")
     parser.add_argument("--grids", help='grid sizes, e.g. "11x11,24x24" (default: smoke set)')
@@ -65,6 +153,23 @@ def main(argv=None) -> int:
     parser.add_argument("--iterations", type=int, default=2, help="work-instances per point")
     parser.add_argument("--jobs", "-j", type=int, default=1, help="parallel workers")
     parser.add_argument("--checkpoint", help="JSONL checkpoint path (enables resume)")
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream live progress (points/sec, ETA) to stderr while running",
+    )
+    parser.add_argument(
+        "--follow",
+        metavar="PATH",
+        help="do not run anything; tail the given checkpoint until the "
+        "campaign completes (points/sec, ETA)",
+    )
+    parser.add_argument(
+        "--follow-timeout",
+        type=float,
+        default=60.0,
+        help="with --follow: give up after this many idle seconds (default: 60)",
+    )
     parser.add_argument(
         "--strategy",
         default="grid",
@@ -76,10 +181,14 @@ def main(argv=None) -> int:
     parser.add_argument("--eta", type=int, default=2, help="successive-halving reduction factor")
     args = parser.parse_args(argv)
 
+    if args.follow:
+        return follow_checkpoint(args.follow, idle_timeout=args.follow_timeout)
+
     spec = build_spec(args)
     strategy = get_strategy(args.strategy, samples=args.samples, seed=args.seed, eta=args.eta)
-    result = run_campaign(
-        spec, jobs=args.jobs, checkpoint=args.checkpoint, strategy=strategy
+    workbench = Workbench(jobs=args.jobs)
+    result = workbench.run(
+        spec, checkpoint=args.checkpoint, strategy=strategy, progress=args.progress
     )
     print(result.format())
     return 0

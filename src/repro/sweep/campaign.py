@@ -1,22 +1,50 @@
-"""Campaign orchestration: spec → runner → checkpoint → aggregated result.
+"""Campaign orchestration: spec → runner → event stream → aggregated result.
 
-:func:`run_campaign` is the one entry point: it expands a
+:func:`execute_campaign` is the engine: it expands a
 :class:`~repro.sweep.spec.SweepSpec`, lets a search strategy decide which
-points to evaluate, shards the work over the chosen runner, appends every
-completed point to an optional JSONL checkpoint, and aggregates everything
-into a :class:`CampaignResult`.  The same call scales from one core
-(``jobs=1``) to many (``jobs=N``) and from a fresh run to a resumed one
-(same ``checkpoint`` path) without changing the result.
+points to evaluate, shards the work over the chosen runner, and pushes every
+lifecycle step through an :class:`~repro.sweep.events.EventBus` — the JSONL
+checkpointer, the in-memory result aggregator and any caller-supplied
+observers (e.g. a live :class:`~repro.sweep.events.ProgressReporter`) all
+consume the same typed :class:`~repro.sweep.events.RunEvent` stream.  The
+same call scales from one core (``jobs=1``) to many (``jobs=N``) and from a
+fresh run to a resumed one (same ``checkpoint`` path) without changing the
+canonical result.
+
+:func:`run_campaign` remains as a thin deprecated shim; new code should go
+through :class:`repro.api.Workbench`, the session facade that owns the plan
+cache, runner policy and observers.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.pipeline.cache import CacheInfo
 from repro.sweep.checkpoint import CampaignCheckpoint
+from repro.sweep.events import (
+    CampaignFinished,
+    CampaignStarted,
+    CheckpointObserver,
+    EventBus,
+    ObserverError,
+    PointCompleted,
+    PointResumed,
+    RunObserver,
+)
 from repro.sweep.record import PointRecord, canonical_json
 from repro.sweep.runners import Runner, make_runner
 from repro.sweep.spec import SweepPoint, SweepSpec, fingerprint_points
@@ -37,6 +65,88 @@ def pareto_front_records(records: Sequence[PointRecord]) -> List[PointRecord]:
     return pareto_front(candidates, key=lambda r: (r.cycles, r.total_bits))
 
 
+# --------------------------------------------------------------------------- #
+# campaign diffing (regression tracking across PRs)
+# --------------------------------------------------------------------------- #
+def _row_key(row: Dict[str, Any]) -> Tuple[int, str]:
+    return (row.get("rung", 0), row["key"])
+
+
+@dataclass
+class CampaignDiff:
+    """Difference between two canonical row sets, keyed by (rung, key).
+
+    ``added``/``removed`` are rows present only on the newer/older side;
+    ``changed`` pairs rows that share a key but disagree on some canonical
+    field.  Built from :meth:`CampaignResult.canonical_rows`, so timing and
+    worker meta never produce spurious diffs.
+    """
+
+    added: List[Dict[str, Any]] = field(default_factory=list)
+    removed: List[Dict[str, Any]] = field(default_factory=list)
+    changed: List[Tuple[Dict[str, Any], Dict[str, Any]]] = field(default_factory=list)
+    unchanged: int = 0
+
+    @property
+    def identical(self) -> bool:
+        """True when both campaigns produced byte-identical canonical rows."""
+        return not (self.added or self.removed or self.changed)
+
+    def changed_fields(self, new_row: Dict[str, Any], old_row: Dict[str, Any]) -> List[str]:
+        """The canonical field names on which a changed pair disagrees."""
+        return sorted(
+            name
+            for name in set(new_row) | set(old_row)
+            if new_row.get(name) != old_row.get(name)
+        )
+
+    def format(self, max_rows: int = 20) -> str:
+        """Human-readable diff report (used by ``python -m repro.sweep diff``)."""
+        if self.identical:
+            return f"campaigns are identical ({self.unchanged} points)"
+        lines = [
+            f"campaign diff: {len(self.added)} added, {len(self.removed)} removed, "
+            f"{len(self.changed)} changed, {self.unchanged} unchanged"
+        ]
+        for row in self.added[:max_rows]:
+            lines.append(f"  + {row['label']} [{row['key']}]")
+        for row in self.removed[:max_rows]:
+            lines.append(f"  - {row['label']} [{row['key']}]")
+        for new_row, old_row in self.changed[:max_rows]:
+            deltas = ", ".join(
+                f"{name}: {old_row.get(name)!r} -> {new_row.get(name)!r}"
+                for name in self.changed_fields(new_row, old_row)
+            )
+            lines.append(f"  ~ {new_row['label']} [{new_row['key']}] {deltas}")
+        shown = min(max_rows, len(self.added)) + min(max_rows, len(self.removed)) + min(
+            max_rows, len(self.changed)
+        )
+        hidden = len(self.added) + len(self.removed) + len(self.changed) - shown
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more differences")
+        return "\n".join(lines)
+
+
+def diff_canonical_rows(
+    new_rows: Iterable[Dict[str, Any]], old_rows: Iterable[Dict[str, Any]]
+) -> CampaignDiff:
+    """Diff two canonical row sets (new vs old), keyed by (rung, key)."""
+    new_by_key = {_row_key(row): row for row in new_rows}
+    old_by_key = {_row_key(row): row for row in old_rows}
+    diff = CampaignDiff()
+    for key in sorted(new_by_key.keys() | old_by_key.keys()):
+        new_row, old_row = new_by_key.get(key), old_by_key.get(key)
+        if old_row is None:
+            diff.added.append(new_row)
+        elif new_row is None:
+            diff.removed.append(old_row)
+        elif new_row != old_row:
+            diff.changed.append((new_row, old_row))
+        else:
+            diff.unchanged += 1
+    return diff
+
+
 @dataclass
 class CampaignResult:
     """Everything one campaign produced, with reporting helpers."""
@@ -53,6 +163,8 @@ class CampaignResult:
     #: (worker pid, runner invocation): counters are cumulative within one
     #: ``Runner.run()`` call, and a multi-rung strategy triggers several.
     worker_cache_info: Dict[Tuple[int, int], CacheInfo] = field(default_factory=dict)
+    #: Isolated failures of non-critical observers (empty on a clean run).
+    observer_errors: List[ObserverError] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     # aggregation
@@ -109,6 +221,21 @@ class CampaignResult:
         """Byte-stable JSON: identical for serial and parallel runs."""
         return canonical_json(self.records)
 
+    def diff(
+        self, other: Union["CampaignResult", Iterable[Dict[str, Any]]]
+    ) -> CampaignDiff:
+        """Compare this campaign (new) against ``other`` (old).
+
+        ``other`` may be another :class:`CampaignResult` or a pre-serialised
+        canonical row list (e.g. loaded from a checkpoint of a previous PR's
+        run).  The comparison is built on :meth:`canonical_rows`, so only
+        deterministic fields can differ.
+        """
+        other_rows = (
+            other.canonical_rows() if isinstance(other, CampaignResult) else list(other)
+        )
+        return diff_canonical_rows(self.canonical_rows(), other_rows)
+
     # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
@@ -126,6 +253,11 @@ class CampaignResult:
         ]
         if self.checkpoint_path:
             lines.append(f"checkpoint: {self.checkpoint_path}")
+        if self.observer_errors:
+            lines.append(
+                f"observer errors: {len(self.observer_errors)} isolated "
+                "(see result.observer_errors)"
+            )
         front = {id(r) for r in self.pareto_front()}
         best = self.best()
         headers = ["point", "backend", "rung", "cycles", "DRAM KiB", "mem bits", "front", "best"]
@@ -177,15 +309,38 @@ def _aggregate_worker_caches(
     return per_worker
 
 
-def run_campaign(
+class _CampaignAggregator(RunObserver):
+    """The critical observer folding the event stream into campaign state.
+
+    Owns the authoritative ``done`` map (checkpoint-preloaded records plus
+    everything completed so far); the engine's stage executor reads records
+    back out of it, so the aggregator *is* the result — not a shadow copy.
+    """
+
+    def __init__(self, preloaded: Dict[str, PointRecord]) -> None:
+        self.done: Dict[str, PointRecord] = preloaded
+        self.fresh: List[PointRecord] = []
+        self.resumed_keys: set = set()
+
+    def on_point_completed(self, event) -> None:
+        record = event.record
+        self.done[record.key] = record
+        self.fresh.append(record)
+
+    def on_point_resumed(self, event) -> None:
+        self.resumed_keys.add(event.record.key)
+
+
+def execute_campaign(
     spec: SweepSpec,
     jobs: int = 1,
     checkpoint: Optional[Union[str, CampaignCheckpoint]] = None,
     strategy: Optional[SearchStrategy] = None,
     runner: Optional[Runner] = None,
     chunksize: Optional[int] = None,
+    observers: Sequence[Any] = (),
 ) -> CampaignResult:
-    """Run (or resume) a campaign and aggregate it into a result.
+    """Run (or resume) a campaign through the event-streaming engine.
 
     Parameters
     ----------
@@ -202,6 +357,10 @@ def run_campaign(
         Search strategy; defaults to exhaustive :class:`GridSearch`.
     runner:
         Explicit executor, overriding ``jobs`` (used by tests).
+    observers:
+        Extra event consumers (objects with ``on_event`` or callables).
+        Their failures are isolated: an observer that raises is recorded on
+        ``result.observer_errors`` and the campaign carries on.
     """
     t0 = time.perf_counter()
     strategy = strategy or GridSearch()
@@ -215,43 +374,127 @@ def run_campaign(
             if isinstance(checkpoint, CampaignCheckpoint)
             else CampaignCheckpoint(checkpoint)
         )
-    done: Dict[str, PointRecord] = (
+    preloaded: Dict[str, PointRecord] = (
         store.load(fingerprint=fingerprint) if store is not None else {}
     )
     if store is not None:
-        store.open_for_append(spec, fingerprint=fingerprint, total_points=len(points))
-    fresh: List[PointRecord] = []
-    resumed_keys = set()
+        store.open_for_append(
+            spec,
+            fingerprint=fingerprint,
+            total_points=len(points),
+            strategy=strategy.name,
+        )
 
-    def run_points(points: Sequence[SweepPoint]) -> List[PointRecord]:
+    bus = EventBus()
+    aggregator = _CampaignAggregator(preloaded)
+    bus.subscribe(aggregator, critical=True)
+    if store is not None:
+        # The checkpointer appends on PointCompleted and re-publishes
+        # CheckpointFlushed; it is critical — losing appends silently would
+        # corrupt resume semantics.
+        bus.subscribe(CheckpointObserver(store, bus), critical=True)
+    for observer in observers:
+        bus.subscribe(observer)
+
+    bus.publish(
+        CampaignStarted(
+            name=spec.name,
+            fingerprint=fingerprint,
+            total_points=len(points),
+            jobs=runner.jobs,
+            strategy=strategy.name,
+            checkpoint_path=store.path if store is not None else None,
+        )
+    )
+
+    announced: set = set()
+
+    def run_points(stage_points: Sequence[SweepPoint]) -> List[PointRecord]:
         todo, keys, queued = [], [], set()
-        for point in points:
+        for point in stage_points:
             key = point.key()
             keys.append(key)
-            if key in done:
-                resumed_keys.add(key)
+            if key in aggregator.done:
+                if key not in announced:  # one PointResumed per unique key
+                    announced.add(key)
+                    bus.publish(PointResumed(record=aggregator.done[key]))
             elif key not in queued:  # identical points evaluate once
                 queued.add(key)
                 todo.append(point)
-        on_result = store.append if store is not None else None
-        for record in runner.run(todo, on_result=on_result):
-            done[record.key] = record
-            fresh.append(record)
-        return [done[key] for key in keys]
+        returned = runner.run(todo)
+        # Built-in runners deliver records through PointCompleted events via
+        # their event_sink; a fully custom runner (PR-2-era contract: just
+        # return the records) may not publish at all, so fold anything the
+        # events did not deliver into the stream here — checkpointing and
+        # observers then work identically for both contracts.
+        for record in returned or []:
+            if record.key not in aggregator.done:
+                bus.publish(PointCompleted(record=record))
+        return [aggregator.done[key] for key in keys]
 
+    previous_sink = runner.event_sink
+    runner.event_sink = bus.publish
     try:
         records = strategy.execute(points, run_points)
+        wall_seconds = time.perf_counter() - t0
+        # Published while the store is still open: the checkpointer reacts
+        # by writing the durable finished marker.  A crashed campaign never
+        # gets one, so --follow keeps (correctly) reporting it incomplete.
+        bus.publish(
+            CampaignFinished(
+                name=spec.name,
+                total_points=len(points),
+                evaluated=len(aggregator.fresh),
+                resumed=len(aggregator.resumed_keys),
+                wall_seconds=wall_seconds,
+            )
+        )
     finally:
+        runner.event_sink = previous_sink
         if store is not None:
             store.close()
     return CampaignResult(
         spec=spec,
         records=records,
-        evaluated=len(fresh),
-        resumed=len(resumed_keys),
+        evaluated=len(aggregator.fresh),
+        resumed=len(aggregator.resumed_keys),
         jobs=runner.jobs,
         strategy=strategy.name,
-        wall_seconds=time.perf_counter() - t0,
+        wall_seconds=wall_seconds,
         checkpoint_path=store.path if store is not None else None,
-        worker_cache_info=_aggregate_worker_caches(fresh),
+        worker_cache_info=_aggregate_worker_caches(aggregator.fresh),
+        observer_errors=list(bus.errors),
+    )
+
+
+def run_campaign(
+    spec: SweepSpec,
+    jobs: int = 1,
+    checkpoint: Optional[Union[str, CampaignCheckpoint]] = None,
+    strategy: Optional[SearchStrategy] = None,
+    runner: Optional[Runner] = None,
+    chunksize: Optional[int] = None,
+    observers: Sequence[Any] = (),
+) -> CampaignResult:
+    """Deprecated shim over :func:`execute_campaign`.
+
+    .. deprecated::
+        Use :class:`repro.api.Workbench` — ``Workbench(jobs=...).run(spec)``
+        — which owns the plan cache, runner policy and observers for a whole
+        session.  This shim keeps the historical one-shot signature working
+        and produces byte-identical results.
+    """
+    warnings.warn(
+        "run_campaign() is deprecated; use repro.api.Workbench().run(spec)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_campaign(
+        spec,
+        jobs=jobs,
+        checkpoint=checkpoint,
+        strategy=strategy,
+        runner=runner,
+        chunksize=chunksize,
+        observers=observers,
     )

@@ -1,0 +1,336 @@
+"""The event stream at the heart of campaign execution.
+
+Runners and the campaign engine no longer report through ad-hoc callbacks:
+they publish typed :class:`RunEvent`\\ s onto an :class:`EventBus`, and every
+consumer — the live :class:`ProgressReporter`, the JSONL
+:class:`CheckpointObserver`, the result aggregator inside
+:func:`repro.sweep.campaign.execute_campaign` — is an observer on that bus.
+
+The bus gives two guarantees the tests rely on:
+
+* **total order** — events are delivered from a single queue in the main
+  process, so every observer sees the same sequence; an event published
+  *while* another is being delivered (e.g. :class:`CheckpointFlushed` from
+  the checkpointer) is queued and delivered after the current event reaches
+  every observer, never interleaved;
+* **failure isolation** — an exception inside a non-critical observer is
+  caught and recorded on :attr:`EventBus.errors`; the campaign and the other
+  observers carry on.  Only observers subscribed with ``critical=True`` (the
+  aggregator and the checkpointer, whose failures would corrupt the result)
+  may abort the campaign.
+
+Event counts are part of the determinism contract: a serial and a parallel
+run of the same spec publish the same number of :class:`PointStarted` and
+:class:`PointCompleted` events (delivery *order* of completions may differ —
+chunks finish when they finish — but per point, ``PointStarted`` always
+precedes its ``PointCompleted``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, NamedTuple, Optional, TextIO
+
+from repro.sweep.record import PointRecord
+
+# --------------------------------------------------------------------------- #
+# events
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """Base class of every campaign event.
+
+    ``kind`` is a stable snake_case tag used for observer dispatch
+    (:class:`RunObserver` routes to ``on_<kind>``) and for serialising event
+    streams to logs.
+    """
+
+    kind = "run_event"
+
+
+@dataclass(frozen=True)
+class CampaignStarted(RunEvent):
+    """Published once, before any point runs."""
+
+    kind = "campaign_started"
+
+    name: str
+    fingerprint: str
+    total_points: int
+    jobs: int = 1
+    strategy: str = "grid"
+    checkpoint_path: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PointStarted(RunEvent):
+    """A point was handed to an executor (serial loop or pool submission)."""
+
+    kind = "point_started"
+
+    key: str
+    label: str
+    rung: int = 0
+
+
+@dataclass(frozen=True)
+class PointCompleted(RunEvent):
+    """A point finished evaluating; carries the completed record."""
+
+    kind = "point_completed"
+
+    record: PointRecord
+
+
+@dataclass(frozen=True)
+class PointResumed(RunEvent):
+    """A point was satisfied from a checkpoint (or an earlier stage)."""
+
+    kind = "point_resumed"
+
+    record: PointRecord
+
+
+@dataclass(frozen=True)
+class CheckpointFlushed(RunEvent):
+    """One record reached the JSONL checkpoint on disk."""
+
+    kind = "checkpoint_flushed"
+
+    path: str
+    key: str
+    flushed: int  #: cumulative records flushed by this campaign
+
+
+@dataclass(frozen=True)
+class CampaignFinished(RunEvent):
+    """Published once, after the strategy finished every stage."""
+
+    kind = "campaign_finished"
+
+    name: str
+    total_points: int
+    evaluated: int
+    resumed: int
+    wall_seconds: float
+
+
+#: A callable consuming events (what runners see as their ``event_sink``).
+EventSink = Callable[[RunEvent], None]
+
+
+# --------------------------------------------------------------------------- #
+# observers and the bus
+# --------------------------------------------------------------------------- #
+class RunObserver:
+    """Base observer: dispatches each event to ``on_<kind>`` when defined.
+
+    Subclasses implement only the hooks they care about
+    (``on_point_completed(event)``, ``on_campaign_finished(event)``, ...);
+    unknown events fall through silently, so new event types never break old
+    observers.
+    """
+
+    def on_event(self, event: RunEvent) -> None:
+        handler = getattr(self, f"on_{event.kind}", None)
+        if handler is not None:
+            handler(event)
+
+
+class ObserverError(NamedTuple):
+    """One isolated observer failure, recorded on :attr:`EventBus.errors`."""
+
+    observer: Any
+    event: RunEvent
+    error: BaseException
+
+
+class EventBus:
+    """Single-process fan-out of :class:`RunEvent`\\ s with queued dispatch."""
+
+    def __init__(self) -> None:
+        self._observers: List[tuple] = []  # (observer, critical)
+        self._queue: "deque[RunEvent]" = deque()
+        self._dispatching = False
+        self.errors: List[ObserverError] = []
+
+    def subscribe(self, observer: Any, critical: bool = False) -> None:
+        """Attach an observer (an object with ``on_event`` or a callable).
+
+        ``critical=True`` observers are load-bearing: their exceptions
+        propagate and abort the campaign.  Everyone else is isolated.
+        """
+        self._observers.append((observer, critical))
+
+    def publish(self, event: RunEvent) -> None:
+        """Deliver an event to every observer, in subscription order.
+
+        Reentrant publishes (an observer reacting to an event with another
+        event) are queued, so the global event order stays total: event *n*
+        reaches every observer before event *n+1* reaches any.
+        """
+        self._queue.append(event)
+        if self._dispatching:
+            return
+        self._dispatching = True
+        try:
+            while self._queue:
+                current = self._queue.popleft()
+                for observer, critical in list(self._observers):
+                    try:
+                        if callable(observer) and not hasattr(observer, "on_event"):
+                            observer(current)
+                        else:
+                            observer.on_event(current)
+                    except Exception as exc:
+                        if critical:
+                            raise
+                        self.errors.append(ObserverError(observer, current, exc))
+        finally:
+            self._dispatching = False
+
+
+# --------------------------------------------------------------------------- #
+# built-in observers
+# --------------------------------------------------------------------------- #
+class ProgressReporter(RunObserver):
+    """Live campaign progress: completed counts, points/sec and ETA.
+
+    Writes one line per update (append-friendly for CI log artifacts) to
+    ``stream`` — standard error by default, so campaign reports on stdout
+    stay machine-readable.  Updates are throttled to one per
+    ``min_interval`` seconds; the start and finish lines always print.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.5,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._stream = stream
+        self._min_interval = min_interval
+        self._clock = clock
+        self._t0: Optional[float] = None
+        self._last_emit: Optional[float] = None
+        self.name = ""
+        self.total = 0
+        self.completed = 0
+        self.evaluated = 0
+        self.resumed = 0
+
+    # ------------------------------------------------------------------ #
+    def on_campaign_started(self, event: CampaignStarted) -> None:
+        # A session-wide reporter sees many campaigns; every start resets
+        # the counters so rates and ETAs never mix campaigns.
+        self.name = event.name
+        self.total = event.total_points
+        self.completed = 0
+        self.evaluated = 0
+        self.resumed = 0
+        self._t0 = self._clock()
+        self._last_emit = None
+        self._write(
+            f"[{event.name}] campaign started: {event.total_points} points, "
+            f"jobs={event.jobs}, strategy={event.strategy}"
+        )
+
+    def on_point_resumed(self, event: PointResumed) -> None:
+        self.completed += 1
+        self.resumed += 1
+        self._emit()
+
+    def on_point_completed(self, event: PointCompleted) -> None:
+        self.completed += 1
+        self.evaluated += 1
+        self._emit()
+
+    def on_campaign_finished(self, event: CampaignFinished) -> None:
+        self._emit(force=True)
+        self._write(
+            f"[{event.name}] campaign finished: {event.evaluated} evaluated, "
+            f"{event.resumed} resumed in {event.wall_seconds:.2f}s"
+        )
+
+    # ------------------------------------------------------------------ #
+    def _rate(self) -> float:
+        """Freshly evaluated points per second since the campaign started."""
+        if self._t0 is None:
+            return 0.0
+        elapsed = self._clock() - self._t0
+        return self.evaluated / elapsed if elapsed > 0 else 0.0
+
+    def _emit(self, force: bool = False) -> None:
+        now = self._clock()
+        if not force and self._last_emit is not None:
+            if now - self._last_emit < self._min_interval:
+                return
+        self._last_emit = now
+        rate = self._rate()
+        remaining = max(0, self.total - self.completed)
+        eta = f"{remaining / rate:.1f}s" if rate > 0 else "-"
+        # Adaptive strategies evaluate more (halving) or fewer (random)
+        # points than the expanded total, so the percentage is clamped.
+        pct = min(100.0, 100.0 * self.completed / self.total) if self.total else 100.0
+        self._write(
+            f"[{self.name}] {self.completed}/{self.total} points ({pct:.1f}%) | "
+            f"{rate:.2f} points/s | ETA {eta}"
+        )
+
+    def _write(self, line: str) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        stream.write(line + "\n")
+        stream.flush()
+
+
+class CheckpointObserver(RunObserver):
+    """Appends every completed point to a JSONL checkpoint as it lands.
+
+    Re-publishes a :class:`CheckpointFlushed` event after each append when
+    given the bus, so downstream observers (and ``--follow`` consumers of the
+    file itself) can track durable progress rather than in-memory progress.
+    """
+
+    def __init__(self, store, bus: Optional[EventBus] = None) -> None:
+        self.store = store
+        self.bus = bus
+        self.flushed = 0
+
+    def on_point_completed(self, event: PointCompleted) -> None:
+        self.store.append(event.record)
+        self.flushed += 1
+        if self.bus is not None:
+            self.bus.publish(
+                CheckpointFlushed(
+                    path=self.store.path, key=event.record.key, flushed=self.flushed
+                )
+            )
+
+    def on_campaign_finished(self, event: CampaignFinished) -> None:
+        # The durable end-of-campaign marker: what tells a cross-process
+        # --follow tailer that an adaptive campaign is done (its record
+        # count need not match the header's total_points).
+        self.store.write_finished(evaluated=event.evaluated, resumed=event.resumed)
+
+
+class EventLog(RunObserver):
+    """Records every event in order (used by tests and debugging)."""
+
+    def __init__(self) -> None:
+        self.events: List[RunEvent] = []
+
+    def on_event(self, event: RunEvent) -> None:
+        self.events.append(event)
+
+    def kinds(self) -> List[str]:
+        """The ``kind`` tags, in delivery order."""
+        return [e.kind for e in self.events]
+
+    def count(self, kind: str) -> int:
+        """Number of recorded events with the given kind tag."""
+        return sum(1 for e in self.events if e.kind == kind)

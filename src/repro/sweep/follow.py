@@ -1,0 +1,168 @@
+"""Tail a live campaign checkpoint: ``python -m repro.sweep --follow``.
+
+A running campaign appends one JSONL line per completed point (see
+:mod:`repro.sweep.checkpoint`), flushed line-by-line — which makes the
+checkpoint file itself a durable, cross-process event stream.  The follower
+reads the header for the campaign's total point count, then tails appended
+record lines, printing throughput (points/sec since attach) and an ETA until
+the campaign completes.  It needs no connection to the producing process, so
+it works across terminals, containers or hosts sharing the file.
+
+Exit codes: 0 when the campaign completed (all points present), 1 when the
+follower gave up after ``idle_timeout`` seconds without new data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+
+class _CheckpointTailer:
+    """Incrementally parse complete JSONL lines appended to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.offset = 0
+        self.total: Optional[int] = None
+        self.name = "campaign"
+        self.strategy: Optional[str] = None
+        self.finished = False
+        self.keys: set = set()
+
+    def poll(self) -> int:
+        """Consume newly appended complete lines; return new record count."""
+        if not os.path.exists(self.path):
+            return 0
+        new_records = 0
+        with open(self.path, "r", encoding="utf-8") as fh:
+            fh.seek(self.offset)
+            while True:
+                line_start = fh.tell()
+                line = fh.readline()
+                if not line:
+                    break
+                if not line.endswith("\n"):
+                    # A half-written tail: re-read it on the next poll.
+                    fh.seek(line_start)
+                    break
+                self.offset = fh.tell()
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                kind = payload.get("kind")
+                if kind == "header":
+                    self.total = payload.get("total_points")
+                    self.name = payload.get("name", self.name)
+                    self.strategy = payload.get("strategy")
+                elif kind == "record":
+                    key = payload.get("key")
+                    if key not in self.keys:
+                        self.keys.add(key)
+                        new_records += 1
+                elif kind == "finished":
+                    self.finished = True
+        return new_records
+
+    @property
+    def count(self) -> int:
+        """Distinct completed points observed so far."""
+        return len(self.keys)
+
+    @property
+    def complete(self) -> bool:
+        """True once the campaign is provably done.
+
+        The durable ``finished`` marker is authoritative.  Without one, the
+        record count is compared against the header's ``total_points`` —
+        but only for exhaustive grids (or legacy headers naming no
+        strategy): adaptive strategies evaluate more records than the
+        expansion (halving's extra rungs) or fewer (random subsampling), so
+        their counts prove nothing.
+        """
+        if self.finished:
+            return True
+        if self.strategy not in (None, "grid"):
+            return False
+        return self.total is not None and self.count >= self.total
+
+
+def follow_checkpoint(
+    path: str,
+    poll_seconds: float = 0.25,
+    idle_timeout: Optional[float] = 60.0,
+    stream: Optional[TextIO] = None,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Tail ``path`` until the campaign completes, printing live progress.
+
+    Parameters
+    ----------
+    path:
+        The JSONL checkpoint a (possibly still running) campaign writes to.
+        The file may not exist yet; the follower waits for it.
+    poll_seconds:
+        Delay between file polls.
+    idle_timeout:
+        Give up after this many seconds without any new data (``None``
+        waits forever).  An incomplete campaign then exits with code 1.
+    stream:
+        Where progress lines go (default: stdout).  One line per update —
+        append-friendly for CI log artifacts.
+    """
+    out = stream if stream is not None else sys.stdout
+
+    def emit(line: str) -> None:
+        out.write(line + "\n")
+        out.flush()
+
+    tailer = _CheckpointTailer(path)
+    emit(f"following {path} ...")
+    # Records already on disk predate the attach: they seed the count but
+    # not the rate, so points/sec means "campaign throughput while watched".
+    tailer.poll()
+    baseline = tailer.count
+    t_attach = clock()
+    last_data = t_attach
+    first_status = True
+    while True:
+        new_records = 0 if first_status else tailer.poll()
+        now = clock()
+        if new_records or tailer.complete or first_status:
+            if new_records:
+                last_data = now
+            fresh = tailer.count - baseline
+            elapsed = now - t_attach
+            rate = fresh / elapsed if elapsed > 0 and fresh > 0 else 0.0
+            total = tailer.total if tailer.total is not None else "?"
+            remaining = (
+                max(0, tailer.total - tailer.count) if tailer.total is not None else None
+            )
+            eta = (
+                f"{remaining / rate:.1f}s"
+                if rate > 0 and remaining is not None
+                else "-"
+            )
+            emit(
+                f"[{tailer.name}] {tailer.count}/{total} points | "
+                f"{rate:.2f} points/s | ETA {eta}"
+            )
+            first_status = False
+        if tailer.complete:
+            emit(f"[{tailer.name}] campaign complete: {tailer.count} points")
+            return 0
+        if idle_timeout is not None and now - last_data > idle_timeout:
+            emit(
+                f"[{tailer.name}] no new data for {idle_timeout:.0f}s; giving up "
+                f"at {tailer.count} point(s)"
+            )
+            return 1
+        sleep(poll_seconds)

@@ -3,18 +3,33 @@
 Both runners share one contract: ``run(points)`` evaluates every
 :class:`~repro.sweep.spec.SweepPoint` and returns one
 :class:`~repro.sweep.record.PointRecord` per point, **in input order**, while
-an optional ``on_result`` callback observes records as they complete (the
-campaign layer appends them to the JSONL checkpoint there).
+an optional ``on_result`` callback observes records as they complete.
+
+Runners additionally participate in the campaign event stream: when a
+:attr:`Runner.event_sink` is installed (the campaign engine points it at its
+:class:`~repro.sweep.events.EventBus`), every point publishes a
+:class:`~repro.sweep.events.PointStarted` event when it is handed to an
+executor and a :class:`~repro.sweep.events.PointCompleted` event when its
+record lands — always from the parent process, so observers never cross a
+process boundary.  Per record the order is: ``PointStarted`` …evaluate…
+``on_result`` → ``PointCompleted``; ``on_result`` runs first so legacy
+callback wrappers (e.g. crash-injection test runners) still gate what the
+event stream sees.
 
 The :class:`ProcessPoolRunner` shards the point list into contiguous chunks
-and ships whole chunks to workers.  Two things make this fast:
+and ships whole chunks to workers.  Three things make this fast:
 
 * evaluation happens entirely in the worker — including :func:`compile`,
   which dominates broad analytic sweeps — so the parent only unpickles slim
   records;
 * pool workers live for the whole run and keep their module-global plan
   cache warm, and chunking keeps points that share a compiled design (e.g.
-  the smache/baseline pair of one problem) on the same worker.
+  the smache/baseline pair of one problem) on the same worker;
+* by default chunk boundaries are **cost-aware**: chunks are cut so each
+  carries a similar predicted compile cost (proportional to grid cells, see
+  :func:`point_cost_weight`) instead of a similar point *count*, so one
+  million-cell problem no longer straggles a worker that also drew a dozen
+  cheap points.  An explicit ``chunksize`` restores fixed-size sharding.
 
 Each record's ``meta`` carries the worker pid and that worker's cumulative
 plan-cache counters, so :class:`~repro.sweep.campaign.CampaignResult` can
@@ -28,16 +43,16 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import replace
-from math import ceil
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.pipeline.backends import get_backend
 from repro.pipeline.cache import CacheInfo, plan_cache
 from repro.pipeline.compile import compile as compile_problem
+from repro.sweep.events import EventSink, PointCompleted, PointStarted
 from repro.sweep.record import PointRecord
 from repro.sweep.spec import SweepPoint
 
-#: Callback observing each record as it completes (checkpoint append hook).
+#: Callback observing each record as it completes (legacy checkpoint hook).
 ResultCallback = Callable[[PointRecord], None]
 
 
@@ -119,6 +134,69 @@ def _evaluate_chunk(args: Tuple[Sequence[SweepPoint], bool, int]) -> List[PointR
     ]
 
 
+# --------------------------------------------------------------------------- #
+# cost-aware chunking
+# --------------------------------------------------------------------------- #
+def point_cost_weight(point: SweepPoint) -> float:
+    """Predicted evaluation cost of one point, for load balancing.
+
+    Compilation dominates broad sweeps and its planning/partitioning work
+    scales with the number of grid cells, so the cell count is the weight.
+    Points whose cost cannot be read default to weight 1, never 0 — every
+    point must contribute to a chunk's budget.
+    """
+    try:
+        return float(point.problem.grid.size) or 1.0
+    except (AttributeError, TypeError):
+        return 1.0
+
+
+def cost_balanced_chunks(
+    points: Sequence[SweepPoint],
+    n_chunks: int,
+    weight: Callable[[SweepPoint], float] = point_cost_weight,
+) -> List[List[SweepPoint]]:
+    """Cut ``points`` into at most ``n_chunks`` contiguous, cost-balanced runs.
+
+    Contiguity is deliberate: adjacent points typically share a compiled
+    design (the spec expands backends × systems innermost), and keeping them
+    in one chunk keeps them on one worker's warm plan cache.  A chunk closes
+    once it holds its fair share of the *remaining* weight — so one giant
+    problem fills a chunk alone while cheap points pack together — but a cut
+    is deferred while the next point belongs to the same problem; fewer
+    chunks beats splitting a design across two workers' caches.
+    """
+    points = list(points)
+    if not points:
+        return []
+    n_chunks = max(1, min(n_chunks, len(points)))
+    weights = [max(weight(p), 1e-9) for p in points]
+    remaining = sum(weights)
+    chunks: List[List[SweepPoint]] = []
+    current: List[SweepPoint] = []
+    current_weight = 0.0
+    for index, (point, w) in enumerate(zip(points, weights)):
+        current.append(point)
+        current_weight += w
+        remaining -= w
+        chunks_after = n_chunks - len(chunks) - 1  # chunks still to fill
+        points_left = len(points) - index - 1
+        if chunks_after == 0 or points_left == 0:
+            continue  # the last chunk takes everything left
+        fair_share = (current_weight + remaining) / (chunks_after + 1)
+        splits_problem = points[index + 1].problem == point.problem
+        if current_weight >= fair_share and not splits_problem:
+            chunks.append(current)
+            current = []
+            current_weight = 0.0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+# --------------------------------------------------------------------------- #
+# runners
+# --------------------------------------------------------------------------- #
 class Runner:
     """Base class: execute sweep points, preserving input order.
 
@@ -126,10 +204,19 @@ class Runner:
     ``meta["run"]``: cache counters are cumulative *within* one invocation,
     so aggregation must distinguish invocations (a multi-rung strategy calls
     ``run()`` once per rung, possibly reusing worker pids).
+
+    When :attr:`event_sink` is set (the campaign engine installs its event
+    bus there), the runner publishes :class:`PointStarted` /
+    :class:`PointCompleted` events from the parent process.  The attribute
+    seam — rather than a ``run()`` parameter — keeps every subclass that
+    overrides ``run()`` with the historical signature working unchanged.
     """
 
     #: Degree of parallelism the runner provides.
     jobs: int = 1
+
+    #: Where to publish run events (installed by the campaign engine).
+    event_sink: Optional[EventSink] = None
 
     def _next_run_index(self) -> int:
         # Lazy so Runner subclasses need not chain __init__.
@@ -146,17 +233,29 @@ class Runner:
         raise NotImplementedError
 
 
+def _emit_started(sink: Optional[EventSink], point: SweepPoint) -> None:
+    if sink is not None:
+        sink(PointStarted(key=point.key(), label=point.display_label, rung=point.rung))
+
+
+def _emit_completed(sink: Optional[EventSink], record: PointRecord) -> None:
+    if sink is not None:
+        sink(PointCompleted(record=record))
+
+
 def _run_in_process(
     points: Sequence[SweepPoint],
     on_result: Optional[ResultCallback],
     keep_results: bool,
     strip_artifacts: bool,
     run_index: int,
+    event_sink: Optional[EventSink] = None,
 ) -> List[PointRecord]:
     """The shared in-process loop of SerialRunner and the pool's 1-job fallback."""
     baseline = plan_cache.cache_info()
     records = []
     for point in points:
+        _emit_started(event_sink, point)
         record = _evaluate_point(
             point,
             keep_result=keep_results,
@@ -167,6 +266,7 @@ def _run_in_process(
         records.append(record)
         if on_result is not None:
             on_result(record)
+        _emit_completed(event_sink, record)
     return records
 
 
@@ -187,6 +287,7 @@ class SerialRunner(Runner):
             keep_results,
             strip_artifacts=False,
             run_index=self._next_run_index(),
+            event_sink=self.event_sink,
         )
 
 
@@ -198,9 +299,11 @@ class ProcessPoolRunner(Runner):
     jobs:
         Worker process count.
     chunksize:
-        Points per shard; defaults to about four shards per worker so the
-        pool stays busy while chunks remain large enough to amortise IPC and
-        keep cache-sharing points together.
+        Points per shard.  When given, chunks are fixed-size (the historical
+        behaviour); when ``None`` (the default) the point list is cut into
+        about four **cost-balanced** shards per worker, weighted by predicted
+        compile cost (:func:`point_cost_weight`), so a single giant problem
+        does not straggle one worker while the rest idle.
     start_method:
         Multiprocessing start method; defaults to ``fork`` where available
         (cheap on Linux), otherwise the platform default.
@@ -227,6 +330,15 @@ class ProcessPoolRunner(Runner):
             return None
         return multiprocessing.get_context(self.start_method)
 
+    def _chunk(self, points: List[SweepPoint], jobs: int) -> List[List[SweepPoint]]:
+        """Shard the point list: fixed-size when asked, cost-balanced otherwise."""
+        if self.chunksize is not None:
+            return [
+                points[i : i + self.chunksize]
+                for i in range(0, len(points), self.chunksize)
+            ]
+        return cost_balanced_chunks(points, n_chunks=jobs * 4)
+
     def run(
         self,
         points: Sequence[SweepPoint],
@@ -242,22 +354,28 @@ class ProcessPoolRunner(Runner):
             # In-process fallback honouring the parallel contract: same run
             # tagging, and artifacts stripped exactly as the workers would.
             return _run_in_process(
-                points, on_result, keep_results, strip_artifacts=True, run_index=run_index
+                points,
+                on_result,
+                keep_results,
+                strip_artifacts=True,
+                run_index=run_index,
+                event_sink=self.event_sink,
             )
-        chunksize = self.chunksize or max(1, ceil(len(points) / (jobs * 4)))
-        chunks = [points[i : i + chunksize] for i in range(0, len(points), chunksize)]
+        chunks = self._chunk(points, jobs)
         by_chunk: Dict[int, List[PointRecord]] = {}
         with ProcessPoolExecutor(max_workers=jobs, mp_context=self._context()) as pool:
-            futures = {
-                pool.submit(_evaluate_chunk, (chunk, keep_results, run_index)): index
-                for index, chunk in enumerate(chunks)
-            }
+            futures = {}
+            for index, chunk in enumerate(chunks):
+                for point in chunk:
+                    _emit_started(self.event_sink, point)
+                futures[pool.submit(_evaluate_chunk, (chunk, keep_results, run_index))] = index
             for future in as_completed(futures):
                 records = future.result()
                 by_chunk[futures[future]] = records
-                if on_result is not None:
-                    for record in records:
+                for record in records:
+                    if on_result is not None:
                         on_result(record)
+                    _emit_completed(self.event_sink, record)
         return [record for index in range(len(chunks)) for record in by_chunk[index]]
 
 

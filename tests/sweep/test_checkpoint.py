@@ -94,10 +94,11 @@ class TestCheckpointResume:
         """A fragment from a hard kill must not swallow the next appended record."""
         path = str(tmp_path / "campaign.jsonl")
         run_campaign(spec, checkpoint=path)
-        # Simulate a kill mid-append: drop the last record's full line and
-        # leave a partial one without a trailing newline.
+        # Simulate a kill mid-append: drop the finished marker (a killed
+        # campaign never writes one), then drop the last record's full line
+        # and leave a partial one without a trailing newline.
         with open(path, encoding="utf-8") as fh:
-            lines = fh.read().splitlines()
+            lines = [l for l in fh.read().splitlines() if '"kind": "finished"' not in l]
         with open(path, "w", encoding="utf-8") as fh:
             fh.write("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
 

@@ -122,3 +122,89 @@ class TestParallelEvaluateBatch:
         cached = evaluate_batch(problems, jobs=2, cache=custom, iterations=2)
         assert [r.cycles for r in bypassed] == [r.cycles for r in cached]
         assert custom.cache_info().misses == 2  # really went through the custom cache
+
+
+class TestCostAwareChunking:
+    """Chunks are cut by predicted compile cost, not point count."""
+
+    def giant_and_dwarfs(self):
+        giant = StencilProblem.paper_example(96, 96, name="giant")
+        dwarfs = [
+            StencilProblem.paper_example(7, 9, name=f"dwarf-{i}") for i in range(12)
+        ]
+        return SweepSpec.from_problems([giant, *dwarfs], name="skew").expand()
+
+    def test_weight_is_the_grid_cell_count(self):
+        from repro.sweep.runners import point_cost_weight
+
+        points = self.giant_and_dwarfs()
+        assert point_cost_weight(points[0]) == 96 * 96
+        assert point_cost_weight(points[1]) == 7 * 9
+
+    def test_chunks_are_contiguous_and_cover_the_input(self):
+        from repro.sweep.runners import cost_balanced_chunks
+
+        points = self.giant_and_dwarfs()
+        chunks = cost_balanced_chunks(points, n_chunks=4)
+        assert 1 <= len(chunks) <= 4
+        flattened = [p for chunk in chunks for p in chunk]
+        assert [p.key() for p in flattened] == [p.key() for p in points]
+
+    def test_giant_point_does_not_straggle_a_worker(self):
+        from repro.sweep.runners import cost_balanced_chunks, point_cost_weight
+
+        points = self.giant_and_dwarfs()
+        chunks = cost_balanced_chunks(points, n_chunks=4)
+        # The giant problem fills its chunk alone; the dwarfs pack together.
+        assert len(chunks[0]) == 1
+        assert chunks[0][0].problem.name == "giant"
+        # No chunk is heavier than the giant plus one dwarf's worth of slack.
+        heaviest = max(sum(point_cost_weight(p) for p in c) for c in chunks)
+        assert heaviest <= 96 * 96 + 7 * 9
+
+    def test_uniform_points_split_evenly(self):
+        from repro.sweep.runners import cost_balanced_chunks
+
+        points = smoke_spec(iterations=1).expand()  # 18 uniform-ish points
+        chunks = cost_balanced_chunks(points, n_chunks=6)
+        assert len(chunks) == 6
+        assert all(chunk for chunk in chunks)
+
+    def test_points_sharing_a_problem_stay_together(self):
+        # backends expand innermost: each problem contributes two adjacent
+        # points that share one compiled design.
+        spec = SweepSpec(
+            name="pairs",
+            base=StencilProblem.paper_example(11, 11),
+            grid_sizes=((11, 11), (13, 13), (15, 15), (17, 17)),
+            backends=("analytic", "cost"),
+            iterations=1,
+        )
+        from repro.sweep.runners import cost_balanced_chunks
+
+        points = spec.expand()
+        chunks = cost_balanced_chunks(points, n_chunks=4)
+        # A chunk never starts mid-problem: each boundary separates two
+        # points belonging to different problems.
+        boundaries = [
+            (chunks[i][-1].problem, chunks[i + 1][0].problem)
+            for i in range(len(chunks) - 1)
+        ]
+        assert all(prev != nxt for prev, nxt in boundaries)
+
+    def test_more_chunks_than_points_degrades_gracefully(self):
+        from repro.sweep.runners import cost_balanced_chunks
+
+        points = smoke_spec(iterations=1).expand()[:3]
+        chunks = cost_balanced_chunks(points, n_chunks=16)
+        assert len(chunks) == 3
+
+    def test_cost_aware_default_is_still_byte_identical(self, points):
+        serial = SerialRunner().run(points)
+        parallel = ProcessPoolRunner(jobs=3).run(points)  # no chunksize: cost-aware
+        assert canonical_json(parallel) == canonical_json(serial)
+
+    def test_explicit_chunksize_restores_fixed_chunks(self, points):
+        runner = ProcessPoolRunner(jobs=2, chunksize=5)
+        chunks = runner._chunk(list(points), jobs=2)
+        assert [len(c) for c in chunks[:-1]] == [5] * (len(chunks) - 1)
