@@ -213,17 +213,24 @@ class TestParallelCampaignBenchmark:
         first = workbench.run(spec, checkpoint=str(checkpoint))
         resumed = workbench.run(spec, checkpoint=str(checkpoint))
 
+        # A pool with more workers than cores cannot speed anything up: on
+        # such hosts (single-core containers, contended CI runners) the
+        # recorded "speedup" is a scheduling artefact, not a regression.
+        # Label it so the BENCH trajectory stays interpretable.
+        contended = jobs < 2 or cpus < jobs
         benchmark.extra_info.update(
             points=n_points,
             jobs=jobs,
             cpus=cpus,
+            contended=contended,
             serial_seconds=round(serial_seconds, 4),
             parallel_seconds=round(parallel_seconds, 4),
             parallel_speedup=round(speedup, 3),
             resumed_points=resumed.resumed,
         )
         print()
-        print(f"campaign: {n_points} analytic points on {cpus} core(s)")
+        print(f"campaign: {n_points} analytic points, jobs={jobs} on {cpus} core(s)"
+              f"{' [contended]' if contended else ''}")
         print(f"jobs=1 : {serial_seconds * 1e3:.0f} ms")
         print(f"jobs={jobs} : {parallel_seconds * 1e3:.0f} ms ({speedup:.2f}x vs serial)")
         print(f"resume : {first.evaluated} evaluated first run, "
@@ -235,13 +242,11 @@ class TestParallelCampaignBenchmark:
         assert first.evaluated == n_points
         assert resumed.evaluated == 0 and resumed.resumed == n_points
         assert resumed.to_json() == serial.to_json()
-        if cpus >= jobs and jobs >= 2:
-            # Assert only where the pool is not oversubscribed: on a host with
-            # fewer cores than workers (contended CI runners, single-core
-            # containers) the speedup is recorded but not enforced.
+        if not contended:
             assert speedup > 1.1
         else:
-            print(f"{cpus} core(s) < {jobs} jobs: {speedup:.2f}x recorded, not asserted")
+            print(f"{cpus} core(s), {jobs} jobs: {speedup:.2f}x recorded as "
+                  "contended, not asserted")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,230 @@
+"""Benchmarks for the fast simulation core.
+
+Two claims are tracked so future PRs can watch the simulator hot path:
+
+* the idle-horizon **fast engine** simulates a fixed, memory-latency-bound
+  smache + baseline configuration at >= 3x the cycles/sec of naive per-cycle
+  ticking, while staying bit-identical (cycle counts, DRAM traffic, op
+  counts, outputs and stall statistics all match — also enforced broadly by
+  ``tests/arch/test_parity.py``);
+* the **vectorized reference executor** (gather-plan + ``apply_batch``)
+  beats the per-cell scalar executor by orders of magnitude on warm plans,
+  with exact (bitwise) equality of the produced grids.
+
+The benchmark configuration models a heavily-queued external memory: ~1 us
+effective read latency at a 300 MHz fabric clock (``read_latency=300``) with
+an 8-deep response window, which makes the stream latency-bound — the regime
+the event-driven scheduler is built for.  With the default low-latency
+timing the fast path's win is modest; those numbers are printed and recorded
+but not asserted.
+
+Run standalone with ``python benchmarks/bench_sim.py``; the numbers land in
+``BENCH_sim.json`` via ``--benchmark-json`` and in each test's
+``extra_info``.  Set ``REPRO_BENCH_SMOKE=1`` (CI does) to shrink the
+workloads and skip the wall-clock speedup assertions — timing on contended
+runners is recorded, not enforced; parity is always enforced.
+"""
+
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_sim.py
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (_ROOT, os.path.join(_ROOT, "src")):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.arch.system import BaselineSystem, SmacheSystem
+from repro.core.boundary import BoundarySpec
+from repro.core.config import SmacheConfig
+from repro.core.grid import GridSpec
+from repro.core.stencil import StencilShape
+from repro.memory.dram import DRAMTiming
+from repro.reference.kernels import AveragingKernel
+from repro.reference.stencil_exec import (
+    clear_gather_plan_cache,
+    gather_plan,
+    make_test_grid,
+    reference_run,
+    reference_step_scalar,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: The fixed benchmark configuration: the paper's 11x11 example against a
+#: heavily-queued external memory (~1 us read latency at 300 MHz).
+BENCH_TIMING = DRAMTiming(random_access_cycles=8, read_latency=300)
+BENCH_ITERATIONS = 10 if SMOKE else 50
+
+
+def _run_system(system_cls, engine: str, timing=None, iterations=BENCH_ITERATIONS):
+    """Build, run and time one system; returns (result, seconds)."""
+    config = SmacheConfig.paper_example(11, 11)
+    system = system_cls(config, iterations=iterations, dram_timing=timing, engine=engine)
+    system.load_input(make_test_grid(config.grid))
+    t0 = time.perf_counter()
+    result = system.run()
+    return result, max(time.perf_counter() - t0, 1e-9)
+
+
+def _assert_parity(naive, fast):
+    """The full bit-identity contract between the two engines."""
+    assert fast.cycles == naive.cycles
+    assert fast.dram_words_read == naive.dram_words_read
+    assert fast.dram_words_written == naive.dram_words_written
+    assert fast.operations == naive.operations
+    assert fast.extra == naive.extra
+    assert np.array_equal(fast.output, naive.output)
+
+
+class TestFastEngineBenchmark:
+    def test_bench_smache_cycles_per_sec(self, benchmark):
+        """The acceptance claim: >= 3x cycles/sec on the smache configuration."""
+        naive, naive_seconds = _run_system(SmacheSystem, "naive", BENCH_TIMING)
+        fast, fast_seconds = run_once(
+            benchmark, _run_system, SmacheSystem, "fast", BENCH_TIMING
+        )
+        _assert_parity(naive, fast)
+
+        cps_naive = naive.cycles / naive_seconds
+        cps_fast = fast.cycles / fast_seconds
+        speedup = cps_fast / cps_naive
+        stats = fast.engine_stats
+        benchmark.extra_info.update(
+            cycles=naive.cycles,
+            iterations=BENCH_ITERATIONS,
+            smoke=SMOKE,
+            cycles_per_sec_naive=round(cps_naive),
+            cycles_per_sec_fast=round(cps_fast),
+            speedup=round(speedup, 2),
+            skip_ratio=round(stats["skip_ratio"], 4),
+            skip_regions=stats["skip_regions"],
+        )
+        print()
+        print(f"smache ({naive.cycles} cycles, latency-bound timing)")
+        print(f"  naive: {cps_naive / 1e3:8.0f}k cycles/s")
+        print(f"  fast : {cps_fast / 1e3:8.0f}k cycles/s ({speedup:.2f}x, "
+              f"skip ratio {stats['skip_ratio']:.1%} over {stats['skip_regions']} regions)")
+        if not SMOKE:
+            assert speedup >= 3.0
+
+    def test_bench_baseline_cycles_per_sec(self, benchmark):
+        """Same measurement on the no-buffering baseline system."""
+        naive, naive_seconds = _run_system(BaselineSystem, "naive", BENCH_TIMING)
+        fast, fast_seconds = run_once(
+            benchmark, _run_system, BaselineSystem, "fast", BENCH_TIMING
+        )
+        _assert_parity(naive, fast)
+
+        speedup = (fast.cycles / fast_seconds) / (naive.cycles / naive_seconds)
+        stats = fast.engine_stats
+        benchmark.extra_info.update(
+            cycles=naive.cycles,
+            smoke=SMOKE,
+            speedup=round(speedup, 2),
+            skip_ratio=round(stats["skip_ratio"], 4),
+        )
+        print()
+        print(f"baseline ({naive.cycles} cycles): {speedup:.2f}x cycles/s, "
+              f"skip ratio {stats['skip_ratio']:.1%}")
+        if not SMOKE:
+            assert speedup >= 2.0
+
+    def test_bench_default_timing_overhead(self, benchmark):
+        """With ideal low-latency DRAM there is little to skip: the fast
+        engine must stay within a few percent of naive (recorded, and
+        loosely bounded so a pathological regression fails loudly)."""
+        iterations = 5 if SMOKE else 20
+        naive, naive_seconds = _run_system(SmacheSystem, "naive", None, iterations)
+        fast, fast_seconds = run_once(
+            benchmark, _run_system, SmacheSystem, "fast", None, iterations
+        )
+        _assert_parity(naive, fast)
+        ratio = fast_seconds / naive_seconds
+        benchmark.extra_info.update(smoke=SMOKE, overhead_ratio=round(ratio, 3))
+        print()
+        print(f"default timing: fast/naive wall ratio {ratio:.2f} "
+              f"(skip ratio {fast.engine_stats['skip_ratio']:.1%})")
+        if not SMOKE:
+            assert ratio < 1.5
+
+
+class TestReferenceExecutorBenchmark:
+    def test_bench_reference_cells_per_sec(self, benchmark):
+        """Vectorized vs scalar golden executor on one fixed workload."""
+        shape = (64, 64) if SMOKE else (128, 128)
+        iterations = 4 if SMOKE else 10
+        grid = GridSpec(shape=shape)
+        stencil = StencilShape.four_point_2d()
+        boundary = BoundarySpec.paper_2d()
+        kernel = AveragingKernel()
+        data = make_test_grid(grid, kind="random")
+
+        clear_gather_plan_cache()
+        t0 = time.perf_counter()
+        gather_plan(grid, stencil, boundary)
+        plan_seconds = time.perf_counter() - t0
+
+        def vectorized():
+            return reference_run(data, grid, stencil, boundary, kernel, iterations=iterations)
+
+        out_vec = run_once(benchmark, vectorized)
+        t0 = time.perf_counter()
+        vectorized()
+        vec_seconds = max(time.perf_counter() - t0, 1e-9)
+
+        t0 = time.perf_counter()
+        out_scalar = reference_step_scalar(data, grid, stencil, boundary, kernel)
+        scalar_seconds = max(time.perf_counter() - t0, 1e-9)
+        for _ in range(iterations - 1):
+            out_scalar = reference_step_scalar(out_scalar, grid, stencil, boundary, kernel)
+
+        assert np.array_equal(out_vec, out_scalar)  # exact, not tolerance
+
+        cells = grid.size * iterations
+        scalar_cps = grid.size / scalar_seconds  # first step only
+        vec_cps = cells / vec_seconds
+        benchmark.extra_info.update(
+            grid=list(shape),
+            iterations=iterations,
+            smoke=SMOKE,
+            plan_build_seconds=round(plan_seconds, 4),
+            cells_per_sec_scalar=round(scalar_cps),
+            cells_per_sec_vectorized=round(vec_cps),
+            speedup=round(vec_cps / scalar_cps, 1),
+        )
+        print()
+        print(f"reference executor on {shape[0]}x{shape[1]} x{iterations} steps")
+        print(f"  plan build: {plan_seconds * 1e3:.0f} ms (once per grid/stencil/boundary)")
+        print(f"  scalar    : {scalar_cps / 1e3:8.0f}k cells/s")
+        print(f"  vectorized: {vec_cps / 1e3:8.0f}k cells/s ({vec_cps / scalar_cps:,.0f}x)")
+        if not SMOKE:
+            assert vec_cps >= 10 * scalar_cps
+
+
+if __name__ == "__main__":
+    import argparse
+
+    import pytest
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--benchmark-json", default="BENCH_sim.json",
+        help="where to write the benchmark record (default: BENCH_sim.json)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="shrink workloads and skip wall-clock assertions (CI mode)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+    sys.exit(
+        pytest.main(
+            [__file__, "--benchmark-only", "-s", f"--benchmark-json={args.benchmark_json}"]
+        )
+    )

@@ -179,6 +179,40 @@ class BaselineMaster(Component):
             return self.dram.writes_completed >= self._req_instance * self.grid_words
         return True
 
+    # ------------------------------------------------------------------ #
+    # idle-horizon protocol
+    # ------------------------------------------------------------------ #
+    def next_activity(self):
+        now = self.sim.cycle
+        if self.iterations == 0:
+            return None
+        # _request_allowed gates on dram.writes_completed, which can only
+        # move when the DRAM itself acts (and reports that activity), so it
+        # is frozen inside any dead region.
+        if self._request_allowed() and self.dram.read_cmd.can_push():
+            return now
+        if self._rsp_instance < self.iterations and self.dram.read_rsp.can_pop():
+            return now
+        if self._compute_pipe:
+            ready = self._compute_pipe[0][0]
+            if ready > now:
+                return ready  # self-scheduled kernel-latency expiry
+            if self.dram.write_cmd.can_push():
+                return now
+        return None
+
+    def skip_digest(self):
+        return (
+            self._req_instance,
+            self._req_point,
+            self._req_operand,
+            self._rsp_instance,
+            self._rsp_point,
+            len(self._collected),
+            len(self._compute_pipe),
+            self._writes_issued,
+        )
+
     def tick(self) -> None:
         if self.iterations == 0:
             return

@@ -63,6 +63,9 @@ class KernelHW(Component):
             "tuple_in", input_capacity
         )
         self.result_out: Channel = self.channel("result_out", output_capacity)
+        #: In-flight bound of the initiation pipeline; shared by tick() and
+        #: next_activity() so the scheduler can never drift from the datapath.
+        self._pipe_capacity = max(1, self.kernel.latency) + 2
         self._pipeline: Deque[Tuple[int, KernelResult]] = deque()
         self.tuples_processed = 0
         self.operations = 0
@@ -81,6 +84,34 @@ class KernelHW(Component):
         return not self._pipeline and not self.tuple_in.can_pop()
 
     # ------------------------------------------------------------------ #
+    # idle-horizon protocol
+    # ------------------------------------------------------------------ #
+    def next_activity(self):
+        now = self.sim.cycle
+        if self.tuple_in.can_pop() and len(self._pipeline) < self._pipe_capacity:
+            return now
+        if self._pipeline:
+            ready = self._pipeline[0][0]
+            if ready > now:
+                return ready  # self-scheduled retire time
+            # Result ready but the output is full: per-cycle stall
+            # bookkeeping only, reproduced by skip().
+            return now if self.result_out.can_push() else None
+        return None
+
+    def skip(self, cycles: int) -> None:
+        if (
+            self._pipeline
+            and self._pipeline[0][0] <= self.sim.cycle
+            and not self.result_out.can_push()
+        ):
+            self.result_out.note_push_stall(cycles)
+            self.stall_cycles += cycles
+
+    def skip_digest(self):
+        return (len(self._pipeline), self.tuples_processed, self.operations)
+
+    # ------------------------------------------------------------------ #
     def tick(self) -> None:
         # Retire results whose latency has elapsed.
         if self._pipeline and self._pipeline[0][0] <= self.cycle:
@@ -92,7 +123,7 @@ class KernelHW(Component):
                 self.stall_cycles += 1
 
         # Accept a new tuple if the pipeline has room (one initiation per cycle).
-        if self.tuple_in.can_pop() and len(self._pipeline) < max(1, self.kernel.latency) + 2:
+        if self.tuple_in.can_pop() and len(self._pipeline) < self._pipe_capacity:
             data: TupleData = self.tuple_in.pop()
             value = self.kernel.apply(data.offsets, data.values)
             ready = self.cycle + self.kernel.latency

@@ -76,6 +76,23 @@ class ReadMaster(Component):
         if self._current is not None and self._remaining == 0:
             self._current = None
 
+    # ------------------------------------------------------------------ #
+    # idle-horizon protocol
+    # ------------------------------------------------------------------ #
+    def next_activity(self):
+        if self._current is not None:
+            # A job in progress always has words left between cycles (the
+            # last word clears the job within the same tick it is pushed).
+            return self.sim.cycle if self.dram.read_cmd.can_push() else None
+        return self.sim.cycle if self.jobs.can_pop() else None
+
+    def skip(self, cycles: int) -> None:
+        if self._current is not None and not self.dram.read_cmd.can_push():
+            self.dram.read_cmd.note_push_stall(cycles)
+
+    def skip_digest(self):
+        return (self._current, self._next_addr, self._remaining, self.words_requested)
+
 
 class ResponseRouter(Component):
     """Routes DRAM read data to the stream or prefetch input of the front-end."""
@@ -109,6 +126,19 @@ class ResponseRouter(Component):
                 self.dram.read_rsp.pop()
                 self.smache.stream_in.push(rsp.data)
                 self.routed_stream += 1
+
+    # ------------------------------------------------------------------ #
+    # idle-horizon protocol
+    # ------------------------------------------------------------------ #
+    def next_activity(self):
+        if not self.dram.read_rsp.can_pop():
+            return None
+        rsp: DRAMResponse = self.dram.read_rsp.peek()
+        target = self.smache.prefetch_in if rsp.tag == TAG_PREFETCH else self.smache.stream_in
+        return self.sim.cycle if target.can_push() else None
+
+    def skip_digest(self):
+        return (self.routed_stream, self.routed_prefetch)
 
 
 class WritebackUnit(Component):
@@ -155,6 +185,25 @@ class WritebackUnit(Component):
         if self.smache is not None:
             self.smache.result_in.push(result)
         self.results_written += 1
+
+    # ------------------------------------------------------------------ #
+    # idle-horizon protocol
+    # ------------------------------------------------------------------ #
+    def next_activity(self):
+        if not self.result_channel.can_pop():
+            return None
+        if not self.dram.write_cmd.can_push():
+            return None  # stall bookkeeping only; reproduced by skip()
+        if self.smache is not None and not self.smache.result_in.can_push():
+            return None
+        return self.sim.cycle
+
+    def skip(self, cycles: int) -> None:
+        if self.result_channel.can_pop() and not self.dram.write_cmd.can_push():
+            self.dram.write_cmd.note_push_stall(cycles)
+
+    def skip_digest(self):
+        return (self.dst_base, self.results_written)
 
 
 class WorkSequencer(Component):
@@ -256,3 +305,26 @@ class WorkSequencer(Component):
                     self.fsm.go("DONE", self.cycle)
                 else:
                     self._launch_instance(self.current_instance)
+
+    # ------------------------------------------------------------------ #
+    # idle-horizon protocol
+    # ------------------------------------------------------------------ #
+    def next_activity(self):
+        now = self.sim.cycle
+        if self.iterations == 0:
+            return now if not self.fsm.is_in("DONE") else None
+        if self.fsm.is_in("INIT"):
+            return now
+        if self.fsm.is_in("WAIT"):
+            # dram.writes_completed can only move when the DRAM itself acts,
+            # and the DRAM reports that activity — inside a dead region the
+            # count is frozen, so waiting on it is not self-scheduled work.
+            expected_writes = (self.current_instance + 1) * self.grid_words
+            return now if self.dram.writes_completed >= expected_writes else None
+        return None  # DONE
+
+    def skip(self, cycles: int) -> None:
+        self.fsm.skip(cycles)
+
+    def skip_digest(self):
+        return (self.fsm.state, self.current_instance, len(self.instance_end_cycles))

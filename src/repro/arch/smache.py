@@ -188,6 +188,69 @@ class SmacheFrontEnd(Component):
         return TupleData(index=centre, offsets=tuple(offsets), values=tuple(values))
 
     # ------------------------------------------------------------------ #
+    # idle-horizon protocol
+    # ------------------------------------------------------------------ #
+    def next_activity(self):
+        now = self.sim.cycle
+        if self.result_in.can_pop():
+            return now  # FSM-3 write-through
+        if self.fsm_prefetch.is_in("FILL"):
+            # FSM-1 consumes a prefetch word, or retires the FILL state the
+            # moment the warm-up completed; while starved for prefetch data
+            # the gather FSM sits in WAIT and the rest of the tick is inert.
+            return now if self.prefetch_in.can_pop() or not self.needs_prefetch else None
+        if not self._active or not self.fsm_gather.is_in("RUN"):
+            return None
+        window_hi = self.plan.stream.window_hi
+        head = self.window.head
+        if head < self._emitted + window_hi:
+            if self._received < self._n:
+                if self.stream_in.can_pop():
+                    return now  # FSM-2 accepts a stream word
+            elif self._emitted < self._n:
+                return now  # tail flush: pad push into the window
+        if (
+            self._emitted < self._n
+            and head >= self._emitted + window_hi
+            and self.tuple_out.can_push()
+        ):
+            return now  # FSM-2 emits a tuple
+        return None
+
+    def skip(self, cycles: int) -> None:
+        self.fsm_prefetch.skip(cycles)
+        self.fsm_gather.skip(cycles)
+        self.fsm_writeback.skip(cycles)
+        if not self._active or not self.fsm_gather.is_in("RUN"):
+            return
+        window_hi = self.plan.stream.window_hi
+        head = self.window.head
+        if (
+            head < self._emitted + window_hi
+            and self._received < self._n
+            and not self.stream_in.can_pop()
+        ):
+            self.input_starved_cycles += cycles
+        if (
+            self._emitted < self._n
+            and head >= self._emitted + window_hi
+            and not self.tuple_out.can_push()
+        ):
+            self.tuple_out.note_push_stall(cycles)
+            self.emit_stall_cycles += cycles
+
+    def skip_digest(self):
+        return (
+            self.fsm_prefetch.state,
+            self.fsm_gather.state,
+            self._work_instance,
+            self._received,
+            self._emitted,
+            self.tuples_emitted,
+            self.window.head,
+        )
+
+    # ------------------------------------------------------------------ #
     # clocked behaviour
     # ------------------------------------------------------------------ #
     def tick(self) -> None:

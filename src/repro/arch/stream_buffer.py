@@ -45,6 +45,8 @@ class WindowBuffer:
         self.depth = spec.depth
         #: positions (distance from the newest element) implemented as registers
         self.register_positions = self._register_positions(tap_offsets)
+        # frozenset mirror for the per-read membership test on the hot path
+        self._register_position_set = frozenset(self.register_positions)
         self._values: Deque[float] = deque(maxlen=self.depth)
         self._head: int = -1  # linear index of the newest element, -1 = empty
         self._count = 0
@@ -131,7 +133,7 @@ class WindowBuffer:
             )
         position = self._head - linear_index  # 0 = newest
         value = self._values[self._count - 1 - position]
-        if position in self.register_positions:
+        if position in self._register_position_set:
             self._register_reads_this_cycle += 1
             self.stats.incr("window_register_reads")
         else:

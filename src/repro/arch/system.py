@@ -46,6 +46,12 @@ class SimulationResult:
     output: np.ndarray
     instance_cycles: List[int] = field(default_factory=list)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Scheduler efficiency counters (engine mode, ticks_executed,
+    #: cycles_skipped, skip_ratio, ...).  Kept apart from ``extra`` on
+    #: purpose: ``extra`` feeds the canonical campaign output, which must be
+    #: byte-identical across engine modes, while these counters describe the
+    #: scheduler, not the simulated hardware.
+    engine_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def dram_traffic_kib(self) -> float:
@@ -88,6 +94,7 @@ class SmacheSystem:
         partition: Optional[HybridPartition] = None,
         trace: Optional[TraceLog] = None,
         write_through: bool = True,
+        engine: Optional[str] = None,
     ) -> None:
         self.config = config
         self.kernel_spec = kernel or AveragingKernel()
@@ -101,7 +108,7 @@ class SmacheSystem:
         grid = config.grid
         n = grid.size
 
-        self.sim = Simulator("smache_system")
+        self.sim = Simulator("smache_system", engine=engine)
         self.dram = DRAMModel(
             self.sim,
             "dram",
@@ -182,6 +189,7 @@ class SmacheSystem:
                 "dram_random": self.dram.random_accesses,
                 "max_bram_reads_per_cycle": self.front_end.window.max_bram_reads_per_cycle,
             },
+            engine_stats=self.sim.run_stats(),
         )
 
 
@@ -197,6 +205,7 @@ class BaselineSystem:
         kernel: Optional[StencilKernel] = None,
         iterations: int = 1,
         dram_timing: Optional[DRAMTiming] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.config = config
         self.kernel_spec = kernel or AveragingKernel()
@@ -204,7 +213,7 @@ class BaselineSystem:
         grid = config.grid
         n = grid.size
 
-        self.sim = Simulator("baseline_system")
+        self.sim = Simulator("baseline_system", engine=engine)
         self.dram = DRAMModel(
             self.sim,
             "dram",
@@ -253,6 +262,7 @@ class BaselineSystem:
                 "dram_random": self.dram.random_accesses,
                 "points_completed": self.master.points_completed,
             },
+            engine_stats=self.sim.run_stats(),
         )
 
 
@@ -265,9 +275,12 @@ def run_smache(
     iterations: int = 1,
     kernel: Optional[StencilKernel] = None,
     dram_timing: Optional[DRAMTiming] = None,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
     """Build, load and run a Smache system in one call."""
-    system = SmacheSystem(config, kernel=kernel, iterations=iterations, dram_timing=dram_timing)
+    system = SmacheSystem(
+        config, kernel=kernel, iterations=iterations, dram_timing=dram_timing, engine=engine
+    )
     system.load_input(input_grid)
     return system.run()
 
@@ -278,8 +291,11 @@ def run_baseline(
     iterations: int = 1,
     kernel: Optional[StencilKernel] = None,
     dram_timing: Optional[DRAMTiming] = None,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
     """Build, load and run a baseline system in one call."""
-    system = BaselineSystem(config, kernel=kernel, iterations=iterations, dram_timing=dram_timing)
+    system = BaselineSystem(
+        config, kernel=kernel, iterations=iterations, dram_timing=dram_timing, engine=engine
+    )
     system.load_input(input_grid)
     return system.run()

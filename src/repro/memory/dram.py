@@ -89,16 +89,22 @@ class DRAMResponse:
 
 
 class _Port:
-    """Internal per-port state: burst tracking and a busy countdown."""
+    """Internal per-port state: burst tracking and an absolute free time.
+
+    ``free_at`` is the first cycle at which the port can start a new access.
+    Absolute times (rather than a per-tick countdown) make a busy wait a
+    *dead* region for the fast engine: nothing about the port changes until
+    ``free_at``, so the simulator can batch-advance the clock over it.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.busy = 0
+        self.free_at = 0
         self.last_addr: Optional[int] = None
         self.current: Optional[DRAMCommand] = None
 
     def reset(self) -> None:
-        self.busy = 0
+        self.free_at = 0
         self.last_addr = None
         self.current = None
 
@@ -144,9 +150,13 @@ class DRAMModel(Component):
         self.sequential_accesses = 0
         self.random_accesses = 0
         self.row_misses = 0
-        self.busy_cycles = 0
         self.writes_completed = 0
         self._arbiter_turn = 0  # round-robin pointer for the shared bus
+        # busy accounting is interval-based (see _account_busy): every access
+        # contributes its occupancy interval up front, so batch-advancing the
+        # clock over a busy wait loses no cycles.
+        self._busy_accum = 0
+        self._busy_union_until = 0
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -190,20 +200,38 @@ class DRAMModel(Component):
         self.sequential_accesses = 0
         self.random_accesses = 0
         self.row_misses = 0
-        self.busy_cycles = 0
         self.writes_completed = 0
         self._arbiter_turn = 0
+        self._busy_accum = 0
+        self._busy_union_until = 0
 
     def finished(self) -> bool:
         return (
             not self._inflight_reads
-            and self._read_port.busy == 0
-            and self._write_port.busy == 0
+            and self.cycle >= self._read_port.free_at
+            and self.cycle >= self._write_port.free_at
         )
 
     # ------------------------------------------------------------------ #
     # timing
     # ------------------------------------------------------------------ #
+    @property
+    def busy_cycles(self) -> int:
+        """Cycles (so far) where at least one port was serving an access."""
+        return self._busy_accum - max(0, self._busy_union_until - self.sim.cycle)
+
+    def _account_busy(self, start: int, end: int) -> None:
+        """Add the busy interval ``(start, end]`` to the union accumulator.
+
+        Intervals always begin at the current cycle, so the union of the two
+        ports' intervals is contiguous at the tail and one high-water mark
+        (``_busy_union_until``) suffices to avoid double counting.
+        """
+        counted_from = max(start, self._busy_union_until)
+        if end > counted_from:
+            self._busy_accum += end - counted_from
+            self._busy_union_until = end
+
     def _access_cost(self, port: _Port, addr: int) -> int:
         """Cycles the access occupies the port, with burst/row accounting."""
         t = self.timing
@@ -225,72 +253,118 @@ class DRAMModel(Component):
     def _start_read(self, cmd: DRAMCommand) -> None:
         if not (0 <= cmd.addr < self.size_words):
             raise IndexError(f"DRAM read address {cmd.addr} out of range")
+        now = self.cycle
         cost = self._access_cost(self._read_port, cmd.addr)
-        self._read_port.busy = cost
+        self._read_port.free_at = now + cost
+        self._account_busy(now, now + cost)
         data = float(self.storage[cmd.addr])
-        ready = self.cycle + cost + self.timing.read_latency
+        ready = now + cost + self.timing.read_latency
         self._inflight_reads.append((ready, DRAMResponse(addr=cmd.addr, data=data, tag=cmd.tag)))
         self.words_read += 1
 
     def _start_write(self, cmd: DRAMCommand) -> None:
         if not (0 <= cmd.addr < self.size_words):
             raise IndexError(f"DRAM write address {cmd.addr} out of range")
+        now = self.cycle
         cost = self._access_cost(self._write_port, cmd.addr)
-        self._write_port.busy = cost
+        self._write_port.free_at = now + cost
+        self._account_busy(now, now + cost)
         self.storage[cmd.addr] = cmd.data
         self.words_written += 1
         self.writes_completed += 1
 
     # ------------------------------------------------------------------ #
     def tick(self) -> None:
+        now = self.cycle
         # Deliver any read data whose latency has elapsed (in order).
-        while (
-            self._inflight_reads
-            and self._inflight_reads[0][0] <= self.cycle
-            and self.read_rsp.can_push()
-        ):
-            _, rsp = self._inflight_reads.popleft()
-            self.read_rsp.push(rsp)
-
-        busy = self._read_port.busy > 0 or self._write_port.busy > 0
-        if busy:
-            self.busy_cycles += 1
-        if self._read_port.busy > 0:
-            self._read_port.busy -= 1
-        if self._write_port.busy > 0:
-            self._write_port.busy -= 1
+        inflight = self._inflight_reads
+        if inflight:
+            rsp = self.read_rsp
+            while inflight and inflight[0][0] <= now and rsp.can_push():
+                rsp.push(inflight.popleft()[1])
 
         if self.shared_bus:
-            self._tick_shared_bus()
+            self._tick_shared_bus(now)
         else:
-            self._tick_split_bus()
+            self._tick_split_bus(now)
 
     def _response_space_ok(self) -> bool:
         # Do not accept more reads than the response path can absorb; this
         # provides the back-pressure ("stall") path of the AXI-style interface.
         return len(self._inflight_reads) < self.read_rsp.capacity
 
-    def _tick_split_bus(self) -> None:
-        if self._read_port.busy == 0 and self.read_cmd.can_pop() and self._response_space_ok():
+    def _tick_split_bus(self, now: int) -> None:
+        if now >= self._read_port.free_at and self.read_cmd.can_pop() and self._response_space_ok():
             self._start_read(self.read_cmd.pop())
-        if self._write_port.busy == 0 and self.write_cmd.can_pop():
+        if now >= self._write_port.free_at and self.write_cmd.can_pop():
             self._start_write(self.write_cmd.pop())
 
-    def _tick_shared_bus(self) -> None:
+    def _tick_shared_bus(self, now: int) -> None:
         # One transaction at a time across both ports, round-robin between
         # pending reads and writes so neither side starves.
-        if self._read_port.busy > 0 or self._write_port.busy > 0:
+        if now < self._read_port.free_at or now < self._write_port.free_at:
             return
         want_read = self.read_cmd.can_pop() and self._response_space_ok()
         want_write = self.write_cmd.can_pop()
         if want_read and (not want_write or self._arbiter_turn == 0):
             cmd = self.read_cmd.pop()
             self._start_read(cmd)
-            # Both "ports" are the same bus: mirror the busy time.
-            self._write_port.busy = self._read_port.busy
+            # Both "ports" are the same bus: mirror the occupancy.
+            self._write_port.free_at = self._read_port.free_at
             self._arbiter_turn = 1
         elif want_write:
             cmd = self.write_cmd.pop()
             self._start_write(cmd)
-            self._read_port.busy = self._write_port.busy
+            self._read_port.free_at = self._write_port.free_at
             self._arbiter_turn = 0
+
+    # ------------------------------------------------------------------ #
+    # idle-horizon protocol
+    # ------------------------------------------------------------------ #
+    def next_activity(self) -> Optional[int]:
+        now = self.sim.cycle
+        horizon: Optional[int] = None
+        # A draining port is self-scheduled activity even with empty queues:
+        # finished() flips when it runs dry, and the contract requires every
+        # change of observable state — idle status included — to be bounded
+        # by the horizon (otherwise run_until_idle could sleep through it).
+        for port in (self._read_port, self._write_port):
+            if port.free_at > now and (horizon is None or port.free_at < horizon):
+                horizon = port.free_at
+        if self._inflight_reads and self.read_rsp.can_push():
+            ready = self._inflight_reads[0][0]
+            if ready <= now:
+                return now
+            if horizon is None or ready < horizon:
+                horizon = ready
+        # A blocked response path (read_rsp full) is not self-scheduled
+        # activity: only the consumer popping can unblock it, and that
+        # consumer reports its own activity.
+        if self.read_cmd.can_pop() and self._response_space_ok():
+            free = self._read_port.free_at
+            if self.shared_bus and self._write_port.free_at > free:
+                free = self._write_port.free_at
+            if free <= now:
+                return now
+            if horizon is None or free < horizon:
+                horizon = free
+        if self.write_cmd.can_pop():
+            free = self._write_port.free_at
+            if self.shared_bus and self._read_port.free_at > free:
+                free = self._read_port.free_at
+            if free <= now:
+                return now
+            if horizon is None or free < horizon:
+                horizon = free
+        return horizon
+
+    def skip_digest(self):
+        return (
+            len(self._inflight_reads),
+            self.words_read,
+            self.words_written,
+            self.writes_completed,
+            self._read_port.free_at,
+            self._write_port.free_at,
+            self._arbiter_turn,
+        )

@@ -85,6 +85,12 @@ class EvaluationResult:
     operations: Optional[int] = None
     output: Optional[np.ndarray] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Backend-side performance telemetry (e.g. the simulate backend's
+    #: scheduler counters: engine mode, ticks executed, cycles skipped).
+    #: Deliberately *not* part of ``extra``: campaign records fold ``extra``
+    #: into their canonical (byte-identical across engines and runners)
+    #: output, while ``perf`` lands in the non-deterministic ``meta`` side.
+    perf: Dict[str, object] = field(default_factory=dict)
     artifacts: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -184,6 +190,7 @@ class SimulateBackend(Backend):
             default_max = 100_000_000
         system.load_input(grid_in)
         sim = system.run(max_cycles=request.max_cycles or default_max)
+        perf = {f"sim_{key}": value for key, value in sim.engine_stats.items()}
         return EvaluationResult(
             backend=self.name,
             system=request.system,
@@ -196,6 +203,7 @@ class SimulateBackend(Backend):
             operations=sim.operations,
             output=sim.output,
             extra=dict(sim.extra),
+            perf=perf,
             artifacts={"simulation": sim},
         )
 

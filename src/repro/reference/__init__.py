@@ -15,7 +15,13 @@ from repro.reference.kernels import (
     SumKernel,
     WeightedKernel,
 )
-from repro.reference.stencil_exec import reference_step, reference_run
+from repro.reference.stencil_exec import (
+    build_gather_plan,
+    gather_plan,
+    reference_run,
+    reference_step,
+    reference_step_scalar,
+)
 
 __all__ = [
     "StencilKernel",
@@ -23,6 +29,9 @@ __all__ = [
     "SumKernel",
     "MaxKernel",
     "WeightedKernel",
+    "build_gather_plan",
+    "gather_plan",
     "reference_step",
+    "reference_step_scalar",
     "reference_run",
 ]

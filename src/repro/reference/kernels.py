@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence, Tuple
 
+import numpy as np
+
 from repro.utils.validation import check_non_negative, check_positive
 
 Offset = Tuple[int, ...]
@@ -43,10 +45,49 @@ class StencilKernel:
         """
         raise NotImplementedError
 
+    def apply_batch(self, offsets: Sequence[Offset], values: np.ndarray) -> np.ndarray:
+        """Apply the kernel to many tuples that share one offset signature.
+
+        ``values`` has shape ``(m, k)``: ``m`` tuples, each with the same
+        ``k`` offsets (one gather-plan group of the vectorized reference
+        executor, see :mod:`repro.reference.stencil_exec`).  Returns the
+        ``(m,)`` output vector.
+
+        The contract is **bit-exactness**: the result must equal calling
+        :meth:`apply` row by row, so vectorized overrides must fold columns
+        left-to-right (matching Python's sequential reduction order) rather
+        than using pairwise reductions like ``np.sum``.  This fallback simply
+        loops, which keeps arbitrary user kernels correct — they still gain
+        the executor's cached boundary resolution and index gathering.  Rows
+        are handed to :meth:`apply` as plain float lists, preserving its
+        ``Sequence[float]`` contract (truthiness, ``len``, python floats).
+        """
+        return np.fromiter(
+            (self.apply(offsets, row) for row in values.tolist()),
+            dtype=np.float64,
+            count=len(values),
+        )
+
     @property
     def adder_levels(self) -> int:
         """Depth of the reduction tree (overridden where meaningful)."""
         return 1
+
+
+def _fold_sum(values: np.ndarray) -> np.ndarray:
+    """Left-to-right column sum of ``(m, k)`` values (k >= 1).
+
+    Matches ``sum(row)`` applied per row: Python's ``sum`` starts from the
+    int ``0`` (exact) and adds the elements in order, so a sequential
+    elementwise fold over columns produces bit-identical float64 results.
+    Seeding with ``0.0 + column`` (not a copy) mirrors that leading zero:
+    under IEEE-754 round-to-nearest, ``0 + (-0.0)`` is ``+0.0``, so a bare
+    copy would leak ``-0.0`` where the scalar path produces ``+0.0``.
+    """
+    acc = values[:, 0] + 0.0
+    for j in range(1, values.shape[1]):
+        acc += values[:, j]
+    return acc
 
 
 @dataclass(frozen=True)
@@ -68,6 +109,12 @@ class AveragingKernel(StencilKernel):
             return 0.0
         return float(sum(values)) / len(values)
 
+    def apply_batch(self, offsets: Sequence[Offset], values: np.ndarray) -> np.ndarray:
+        m, k = values.shape
+        if k == 0:
+            return np.zeros(m, dtype=np.float64)
+        return _fold_sum(values) / k
+
     @property
     def adder_levels(self) -> int:
         n = max(2, self.expected_points)
@@ -85,6 +132,12 @@ class SumKernel(StencilKernel):
 
     def apply(self, offsets: Sequence[Offset], values: Sequence[float]) -> float:
         return float(sum(values))
+
+    def apply_batch(self, offsets: Sequence[Offset], values: np.ndarray) -> np.ndarray:
+        m, k = values.shape
+        if k == 0:
+            return np.zeros(m, dtype=np.float64)
+        return _fold_sum(values)
 
     @property
     def adder_levels(self) -> int:
@@ -104,6 +157,20 @@ class MaxKernel(StencilKernel):
         if not values:
             return 0.0
         return float(max(values))
+
+    def apply_batch(self, offsets: Sequence[Offset], values: np.ndarray) -> np.ndarray:
+        m, k = values.shape
+        if k == 0:
+            return np.zeros(m, dtype=np.float64)
+        acc = values[:, 0].copy()
+        for j in range(1, k):
+            # Python's max() keeps the accumulator unless the candidate
+            # compares strictly greater — np.maximum would diverge on NaN
+            # (it propagates) and on signed zeros, breaking bit-exactness
+            # with the scalar apply.
+            column = values[:, j]
+            acc = np.where(column > acc, column, acc)
+        return acc
 
 
 @dataclass(frozen=True)
@@ -135,6 +202,14 @@ class WeightedKernel(StencilKernel):
             if w is not None:
                 acc += w * val
         return float(acc)
+
+    def apply_batch(self, offsets: Sequence[Offset], values: np.ndarray) -> np.ndarray:
+        acc = np.full(values.shape[0], float(self.bias), dtype=np.float64)
+        for j, off in enumerate(offsets):
+            w = self.weights.get(tuple(off))
+            if w is not None:
+                acc += w * values[:, j]
+        return acc
 
     @property
     def adder_levels(self) -> int:

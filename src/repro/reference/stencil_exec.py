@@ -5,11 +5,31 @@ reads every value from iteration ``k`` and writes iteration ``k+1`` (Jacobi /
 ping-pong), applying the kernel to the tuple of accesses that exist after
 boundary resolution.  The cycle-accurate systems in :mod:`repro.arch` are
 validated against these functions element by element.
+
+Vectorized execution
+--------------------
+Boundary resolution is a pure function of ``(grid, stencil, boundary)`` —
+the hardware pre-resolves it once per system for the same reason — so the
+executor builds a :class:`GatherPlan` once per triple (LRU-cached across
+steps and iterations): grid positions are grouped by their *resolution
+signature* (which stencil offsets exist, wrap, or resolve to a constant),
+and every group carries a precomputed gather-index matrix.  One step is then
+a handful of NumPy gathers plus one :meth:`StencilKernel.apply_batch` call
+per group, instead of ``grid.size`` Python-level resolutions.
+
+The vectorized path is **bit-identical** to the scalar one (enforced by
+``tests/reference``): kernels fold operand columns left-to-right, matching
+the sequential reduction order of their scalar ``apply``, and the interior
+of a grid collapses into a single group so the common case is one fused
+gather.  :func:`reference_step_scalar` keeps the original per-cell loop as
+the independent cross-check.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -17,6 +37,112 @@ from repro.core.boundary import BoundarySpec, ResolutionKind
 from repro.core.grid import GridSpec
 from repro.core.stencil import StencilShape
 from repro.reference.kernels import StencilKernel
+
+
+# --------------------------------------------------------------------------- #
+# gather plans
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GatherGroup:
+    """All grid positions sharing one boundary-resolution signature."""
+
+    #: Linear indices of the member positions, ascending.
+    rows: np.ndarray
+    #: The common offsets of the surviving accesses, in resolution order.
+    offsets: Tuple[Tuple[int, ...], ...]
+    #: ``(m, k)`` gather indices into the flat grid; constant columns hold 0.
+    index: np.ndarray
+    #: Columns that are constant-boundary substitutions, with their values.
+    constant_columns: Tuple[Tuple[int, float], ...]
+
+
+@dataclass(frozen=True)
+class GatherPlan:
+    """Precomputed vectorized execution plan for one (grid, stencil, boundary)."""
+
+    size: int
+    groups: Tuple[GatherGroup, ...]
+
+    def execute(self, flat: np.ndarray, kernel: StencilKernel, out: np.ndarray) -> None:
+        """Apply ``kernel`` over every position, writing into flat ``out``."""
+        for group in self.groups:
+            values = flat[group.index]
+            for column, constant in group.constant_columns:
+                values[:, column] = constant
+            out[group.rows] = kernel.apply_batch(group.offsets, values)
+
+
+def build_gather_plan(
+    grid: GridSpec, stencil: StencilShape, boundary: BoundarySpec
+) -> GatherPlan:
+    """Resolve every position once and group by resolution signature."""
+    buckets: Dict[Tuple, Dict[str, list]] = {}
+    order: List[Tuple] = []
+    for linear in range(grid.size):
+        centre = grid.coord(linear)
+        signature: List[Tuple] = []
+        indices: List[int] = []
+        offsets: List[Tuple[int, ...]] = []
+        constants: List[Tuple[int, float]] = []
+        for point in boundary.resolve_stencil(grid, centre, stencil):
+            if point.kind is ResolutionKind.SKIPPED:
+                continue
+            if point.kind is ResolutionKind.CONSTANT:
+                value = float(point.constant_value)
+                constants.append((len(indices), value))
+                signature.append((point.offset, "c", value))
+                indices.append(0)  # placeholder; overwritten by the constant
+            else:
+                # The *relative* displacement, not the absolute target, keys
+                # the signature: every interior point shares one group.
+                signature.append((point.offset, "g", point.linear_index - linear))
+                indices.append(point.linear_index)
+            offsets.append(point.offset)
+        key = tuple(signature)
+        bucket = buckets.get(key)
+        if bucket is None:
+            # constants and offsets are part of the signature, so they are
+            # identical for every member row and recorded once per group
+            bucket = {"offsets": offsets, "constants": constants, "rows": [], "index": []}
+            buckets[key] = bucket
+            order.append(key)
+        bucket["rows"].append(linear)
+        bucket["index"].append(indices)
+    groups = []
+    for key in order:
+        bucket = buckets[key]
+        rows = bucket["rows"]
+        groups.append(
+            GatherGroup(
+                rows=np.asarray(rows, dtype=np.intp),
+                offsets=tuple(bucket["offsets"]),
+                index=np.asarray(bucket["index"], dtype=np.intp).reshape(
+                    len(rows), len(bucket["offsets"])
+                ),
+                constant_columns=tuple(bucket["constants"]),
+            )
+        )
+    return GatherPlan(size=grid.size, groups=tuple(groups))
+
+
+#: The memoized gather plan for a (grid, stencil, boundary) triple — the
+#: three specs are frozen dataclasses, so they key an LRU directly.
+gather_plan = lru_cache(maxsize=64)(build_gather_plan)
+
+
+def clear_gather_plan_cache() -> None:
+    """Drop every cached gather plan (benchmarks measuring cold builds)."""
+    gather_plan.cache_clear()
+
+
+# --------------------------------------------------------------------------- #
+# execution
+# --------------------------------------------------------------------------- #
+def _check_input(array: np.ndarray, grid: GridSpec) -> np.ndarray:
+    array = np.asarray(array, dtype=np.float64)
+    if array.shape != grid.shape:
+        raise ValueError(f"array shape {array.shape} does not match grid {grid.shape}")
+    return array
 
 
 def reference_step(
@@ -29,11 +155,26 @@ def reference_step(
     """Apply one work-instance of the stencil kernel to ``array``.
 
     ``array`` must have the grid's shape; the returned array is a new
-    allocation (Jacobi semantics — no in-place update).
+    allocation (Jacobi semantics — no in-place update).  Uses the vectorized
+    gather-plan path; :func:`reference_step_scalar` is the per-cell original,
+    bit-identical by construction.
     """
-    array = np.asarray(array, dtype=np.float64)
-    if array.shape != grid.shape:
-        raise ValueError(f"array shape {array.shape} does not match grid {grid.shape}")
+    array = _check_input(array, grid)
+    flat = array.reshape(-1)
+    out = np.empty_like(flat)
+    gather_plan(grid, stencil, boundary).execute(flat, kernel, out)
+    return out.reshape(grid.shape)
+
+
+def reference_step_scalar(
+    array: np.ndarray,
+    grid: GridSpec,
+    stencil: StencilShape,
+    boundary: BoundarySpec,
+    kernel: StencilKernel,
+) -> np.ndarray:
+    """The original per-cell executor (the vectorized path's cross-check)."""
+    array = _check_input(array, grid)
     flat = array.reshape(-1)
     out = np.empty_like(flat)
 
@@ -62,13 +203,24 @@ def reference_run(
     kernel: StencilKernel,
     iterations: int = 1,
 ) -> np.ndarray:
-    """Apply ``iterations`` work-instances (ping-pong between two arrays)."""
+    """Apply ``iterations`` work-instances (ping-pong between two arrays).
+
+    The gather plan is built (or fetched from the cache) once and reused for
+    every iteration — index construction happens once per
+    (grid, stencil, boundary), not once per step.
+    """
     if iterations < 0:
         raise ValueError("iterations must be non-negative")
-    current = np.asarray(array, dtype=np.float64).copy()
+    current = _check_input(array, grid).copy()
+    if iterations == 0:
+        return current
+    plan = gather_plan(grid, stencil, boundary)
+    flat = current.reshape(-1)
+    out = np.empty_like(flat)
     for _ in range(iterations):
-        current = reference_step(current, grid, stencil, boundary, kernel)
-    return current
+        plan.execute(flat, kernel, out)
+        flat, out = out, flat
+    return flat.reshape(grid.shape)
 
 
 def make_test_grid(grid: GridSpec, seed: Optional[int] = 0, kind: str = "ramp") -> np.ndarray:

@@ -18,7 +18,14 @@ This is the substrate on which the hardware models in :mod:`repro.arch` and
 """
 
 from repro.sim.channel import Channel
-from repro.sim.engine import Component, Simulator, SimulationError
+from repro.sim.engine import (
+    ENGINE_MODES,
+    Component,
+    SimulationError,
+    Simulator,
+    default_engine,
+    set_default_engine,
+)
 from repro.sim.fsm import FSM
 from repro.sim.stats import StatsCollector
 from repro.sim.trace import TraceLog
@@ -28,6 +35,9 @@ __all__ = [
     "Component",
     "Simulator",
     "SimulationError",
+    "ENGINE_MODES",
+    "default_engine",
+    "set_default_engine",
     "FSM",
     "StatsCollector",
     "TraceLog",

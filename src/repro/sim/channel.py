@@ -8,12 +8,19 @@ simulation results independent of the order in which components are ticked.
 Throughput: because a push performed in cycle ``n`` frees no space until the
 commit at the end of cycle ``n``, a channel needs ``capacity >= 2`` to sustain
 one transfer per cycle (exactly like a two-entry skid buffer in RTL).
+
+This is the hottest data structure of the whole simulator, so the commit path
+is written to do no work for untouched links: a channel (or wire) reports
+itself to its owning simulator's *dirty worklist* the first time a cycle
+stages an update, and only dirty links commit.  Standalone channels (built
+without a simulator, as the unit tests do) simply have no dirty hook and are
+committed explicitly by their caller, exactly as before.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Iterable, List, Optional
+from typing import Any, Callable, Deque, Iterable, List, Optional
 
 from repro.utils.validation import check_positive
 
@@ -21,19 +28,52 @@ from repro.utils.validation import check_positive
 class Channel:
     """A registered FIFO link between two components."""
 
-    def __init__(self, name: str, capacity: int = 2) -> None:
+    __slots__ = (
+        "name",
+        "capacity",
+        "_queue",
+        "_staged_pushes",
+        "_staged_pops",
+        "_on_dirty",
+        "_dirty",
+        "mutations",
+        "total_pushes",
+        "total_pops",
+        "push_stall_cycles",
+        "pop_stall_cycles",
+        "max_occupancy",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 2,
+        on_dirty: Optional[Callable[["Channel"], None]] = None,
+    ) -> None:
         check_positive("capacity", capacity)
         self.name = name
         self.capacity = capacity
         self._queue: Deque[Any] = deque()
         self._staged_pushes: List[Any] = []
         self._staged_pops = 0
+        self._on_dirty = on_dirty
+        self._dirty = False
+        #: Monotone count of state-changing operations (pushes + pops), used
+        #: by the debug engine to prove a skipped region was dead.  Stall
+        #: notes are bookkeeping, not activity, and do not count.
+        self.mutations = 0
         # statistics
         self.total_pushes = 0
         self.total_pops = 0
         self.push_stall_cycles = 0
         self.pop_stall_cycles = 0
         self.max_occupancy = 0
+
+    # ------------------------------------------------------------------ #
+    def _mark_dirty(self) -> None:
+        if not self._dirty and self._on_dirty is not None:
+            self._dirty = True
+            self._on_dirty(self)
 
     # ------------------------------------------------------------------ #
     # producer side
@@ -55,10 +95,13 @@ class Channel:
             )
         self._staged_pushes.append(item)
         self.total_pushes += 1
+        self.mutations += 1
+        self._mark_dirty()
 
-    def note_push_stall(self) -> None:
-        """Record that the producer had data but the channel was full."""
-        self.push_stall_cycles += 1
+    def note_push_stall(self, cycles: int = 1) -> None:
+        """Record ``cycles`` cycles where the producer had data but the
+        channel was full (batched by the fast engine's skip accounting)."""
+        self.push_stall_cycles += cycles
 
     # ------------------------------------------------------------------ #
     # consumer side
@@ -83,34 +126,44 @@ class Channel:
         item = self._queue[self._staged_pops]
         self._staged_pops += 1
         self.total_pops += 1
+        self.mutations += 1
+        self._mark_dirty()
         return item
 
-    def note_pop_stall(self) -> None:
-        """Record that the consumer was ready but the channel was empty."""
-        self.pop_stall_cycles += 1
+    def note_pop_stall(self, cycles: int = 1) -> None:
+        """Record ``cycles`` cycles where the consumer was ready but the
+        channel was empty (batched by the fast engine's skip accounting)."""
+        self.pop_stall_cycles += cycles
 
     # ------------------------------------------------------------------ #
     # simulator interface
     # ------------------------------------------------------------------ #
     def commit(self) -> None:
         """Apply the cycle's staged pops and pushes (called by the simulator)."""
-        for _ in range(self._staged_pops):
-            self._queue.popleft()
-        self._staged_pops = 0
-        self._queue.extend(self._staged_pushes)
-        self._staged_pushes.clear()
-        if len(self._queue) > self.max_occupancy:
-            self.max_occupancy = len(self._queue)
-        if len(self._queue) > self.capacity:
-            raise SimulationChannelError(
-                f"channel '{self.name}' exceeded its capacity after commit"
-            )
+        self._dirty = False
+        if self._staged_pops:
+            queue = self._queue
+            for _ in range(self._staged_pops):
+                queue.popleft()
+            self._staged_pops = 0
+        if self._staged_pushes:
+            self._queue.extend(self._staged_pushes)
+            self._staged_pushes.clear()
+            occupancy = len(self._queue)
+            if occupancy > self.max_occupancy:
+                if occupancy > self.capacity:
+                    raise SimulationChannelError(
+                        f"channel '{self.name}' exceeded its capacity after commit"
+                    )
+                self.max_occupancy = occupancy
 
     def reset(self) -> None:
         """Clear contents and statistics."""
         self._queue.clear()
         self._staged_pushes.clear()
         self._staged_pops = 0
+        self._dirty = False
+        self.mutations = 0
         self.total_pushes = 0
         self.total_pops = 0
         self.push_stall_cycles = 0
@@ -150,11 +203,22 @@ class Wire:
     signals where a FIFO would be overkill.
     """
 
-    def __init__(self, name: str, initial: Any = 0) -> None:
+    __slots__ = ("name", "_initial", "_current", "_next", "_on_dirty", "_dirty", "mutations")
+
+    def __init__(
+        self,
+        name: str,
+        initial: Any = 0,
+        on_dirty: Optional[Callable[["Wire"], None]] = None,
+    ) -> None:
         self.name = name
         self._initial = initial
         self._current = initial
         self._next: Optional[Any] = None
+        self._on_dirty = on_dirty
+        self._dirty = False
+        #: Monotone count of scheduled writes (see :attr:`Channel.mutations`).
+        self.mutations = 0
 
     def get(self) -> Any:
         """Value latched at the previous clock edge."""
@@ -163,9 +227,14 @@ class Wire:
     def set(self, value: Any) -> None:
         """Schedule a new value for the next clock edge."""
         self._next = value
+        self.mutations += 1
+        if not self._dirty and self._on_dirty is not None:
+            self._dirty = True
+            self._on_dirty(self)
 
     def commit(self) -> None:
         """Latch the scheduled value (called by the simulator)."""
+        self._dirty = False
         if self._next is not None:
             self._current = self._next
             self._next = None
@@ -174,6 +243,8 @@ class Wire:
         """Return to the initial value."""
         self._current = self._initial
         self._next = None
+        self._dirty = False
+        self.mutations = 0
 
 
 class SimulationChannelError(RuntimeError):

@@ -57,6 +57,16 @@ class FSM:
         """Account one cycle spent in the current state."""
         self.cycles_in_state[self.state] += 1
 
+    def skip(self, cycles: int) -> None:
+        """Account ``cycles`` consecutive cycles spent in the current state.
+
+        Called by components from their :meth:`repro.sim.engine.Component.skip`
+        hook when the fast engine batch-advances over a dead region: the FSM
+        cannot transition inside such a region, so its occupancy statistics
+        accrue in one step and stay identical to naive per-cycle ticking.
+        """
+        self.cycles_in_state[self.state] += cycles
+
     # ------------------------------------------------------------------ #
     @property
     def n_states(self) -> int:

@@ -91,6 +91,11 @@ def _evaluate_point(
         "worker": os.getpid(),
         "run": run_index,
     }
+    if result.perf:
+        # Backend performance telemetry (the simulate backend's scheduler
+        # counters) rides in meta: visible to PointCompleted observers and
+        # checkpoints, excluded from the canonical determinism contract.
+        meta.update(result.perf)
     meta.update(_cache_meta(cache_baseline))
     return PointRecord.from_result(
         point.key(),

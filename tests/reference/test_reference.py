@@ -11,10 +11,19 @@ from repro.core.stencil import StencilShape
 from repro.reference.kernels import (
     AveragingKernel,
     MaxKernel,
+    StencilKernel,
     SumKernel,
     WeightedKernel,
 )
-from repro.reference.stencil_exec import make_test_grid, reference_run, reference_step
+from repro.reference.stencil_exec import (
+    build_gather_plan,
+    clear_gather_plan_cache,
+    gather_plan,
+    make_test_grid,
+    reference_run,
+    reference_step,
+    reference_step_scalar,
+)
 
 
 class TestKernels:
@@ -160,6 +169,120 @@ class TestReferenceStep:
             + np.roll(data, 1, axis=1) + np.roll(data, -1, axis=1)
         ) / 4.0
         assert np.allclose(out, expected)
+
+
+class HarmonicKernel(StencilKernel):
+    """A custom kernel with no apply_batch override: exercises the fallback."""
+
+    def apply(self, offsets, values):
+        if not values:
+            return 0.0
+        acc = 0.0
+        for v in values:
+            acc += 1.0 / (1.0 + abs(v))
+        return acc
+
+
+BOUNDARY_CASES = [
+    BoundarySpec.paper_2d(),
+    BoundarySpec.all_open(2),
+    BoundarySpec.all_circular(2),
+    BoundarySpec.per_dimension([BoundaryKind.MIRROR, BoundaryKind.CLAMP]),
+    BoundarySpec.per_dimension(
+        [BoundaryKind.CONSTANT, BoundaryKind.CIRCULAR], constant_value=2.75
+    ),
+]
+
+KERNEL_CASES = [
+    AveragingKernel(),
+    SumKernel(),
+    MaxKernel(),
+    WeightedKernel.jacobi_2d(),
+    WeightedKernel.diffusion_2d(0.15),
+    HarmonicKernel(name="harmonic"),
+]
+
+
+class TestVectorizedExecutor:
+    """The vectorized gather-plan path must equal the scalar loop *exactly*."""
+
+    @pytest.mark.parametrize("boundary", BOUNDARY_CASES, ids=lambda b: b.describe())
+    @pytest.mark.parametrize("kernel", KERNEL_CASES, ids=lambda k: k.name)
+    def test_bitwise_equal_to_scalar(self, boundary, kernel):
+        grid = GridSpec(shape=(7, 9))
+        data = make_test_grid(grid, seed=3, kind="random")
+        for stencil in (StencilShape.four_point_2d(), StencilShape.five_point_2d()):
+            vec = reference_step(data, grid, stencil, boundary, kernel)
+            scalar = reference_step_scalar(data, grid, stencil, boundary, kernel)
+            assert np.array_equal(vec, scalar)  # exact equality, not tolerance
+
+    @given(rows=st.integers(3, 9), cols=st.integers(3, 9), seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_bitwise_equal_on_random_grids(self, rows, cols, seed):
+        grid = GridSpec(shape=(rows, cols))
+        data = make_test_grid(grid, seed=seed, kind="random")
+        boundary = BOUNDARY_CASES[seed % len(BOUNDARY_CASES)]
+        kernel = KERNEL_CASES[seed % len(KERNEL_CASES)]
+        vec = reference_step(data, grid, StencilShape.four_point_2d(), boundary, kernel)
+        scalar = reference_step_scalar(
+            data, grid, StencilShape.four_point_2d(), boundary, kernel
+        )
+        assert np.array_equal(vec, scalar)
+
+    def test_multi_iteration_run_equals_repeated_scalar_steps(self):
+        grid = GridSpec(shape=(6, 8))
+        data = make_test_grid(grid, seed=11, kind="random")
+        stencil = StencilShape.four_point_2d()
+        boundary = BoundarySpec.paper_2d()
+        kernel = AveragingKernel()
+        vec = reference_run(data, grid, stencil, boundary, kernel, iterations=7)
+        scalar = data.copy()
+        for _ in range(7):
+            scalar = reference_step_scalar(scalar, grid, stencil, boundary, kernel)
+        assert np.array_equal(vec, scalar)
+
+    def test_interior_collapses_into_one_group(self):
+        # The whole point of signature grouping: on a periodic grid every
+        # position resolves the same way relative to its centre.
+        plan = build_gather_plan(
+            GridSpec(shape=(10, 10)), StencilShape.four_point_2d(),
+            BoundarySpec.all_circular(2),
+        )
+        assert len(plan.groups) > 1  # wrap rows/columns differ from interior
+        largest = max(len(g.rows) for g in plan.groups)
+        assert largest == 8 * 8  # the interior block
+
+    def test_plan_cache_returns_same_object(self):
+        clear_gather_plan_cache()
+        grid = GridSpec(shape=(5, 5))
+        args = (grid, StencilShape.four_point_2d(), BoundarySpec.paper_2d())
+        assert gather_plan(*args) is gather_plan(*args)
+
+    @pytest.mark.parametrize("kernel", KERNEL_CASES, ids=lambda k: k.name)
+    def test_signed_zero_bit_patterns_match_scalar(self, kernel):
+        # np.array_equal treats -0.0 == 0.0, so compare raw bit patterns:
+        # the vectorized folds must reproduce the scalar path's signed zeros
+        # (Python's sum() starts from int 0, turning a leading -0.0 into +0.0).
+        grid = GridSpec(shape=(4, 4))
+        data = np.full(grid.shape, -0.0)
+        for boundary in (BoundarySpec.paper_2d(), BoundarySpec.all_open(2)):
+            vec = reference_step(data, grid, StencilShape.four_point_2d(), boundary, kernel)
+            scalar = reference_step_scalar(
+                data, grid, StencilShape.four_point_2d(), boundary, kernel
+            )
+            assert vec.tobytes() == scalar.tobytes()
+
+    def test_all_skipped_positions_produce_kernel_empty_value(self):
+        # A stencil reaching entirely outside an open-boundary grid: every
+        # access is skipped, so the kernel's empty-tuple value applies.
+        grid = GridSpec(shape=(2, 2))
+        stencil = StencilShape.from_offsets([(5, 5)], name="far")
+        boundary = BoundarySpec.all_open(2)
+        data = make_test_grid(grid, kind="ramp")
+        vec = reference_step(data, grid, stencil, boundary, AveragingKernel())
+        scalar = reference_step_scalar(data, grid, stencil, boundary, AveragingKernel())
+        assert np.array_equal(vec, scalar)
+        assert np.all(vec == 0.0)
 
 
 class TestMakeTestGrid:
