@@ -54,6 +54,7 @@ from repro.pipeline.problem import StencilProblem
 from repro.reference.kernels import StencilKernel
 from repro.sweep.campaign import CampaignResult, execute_campaign
 from repro.sweep.checkpoint import CampaignCheckpoint
+from repro.sweep.eventlog import EventLogObserver
 from repro.sweep.events import ProgressReporter
 from repro.sweep.runners import Runner, make_runner
 from repro.sweep.spec import SweepSpec
@@ -188,6 +189,7 @@ class SweepBuilder:
         self._runner: Optional[Runner] = None
         self._chunksize: Optional[int] = None
         self._observers: List[Any] = []
+        self._event_log: Optional[Union[str, EventLogObserver]] = None
 
     # ------------------------------------------------------------------ #
     def spec(self) -> SweepSpec:
@@ -207,6 +209,18 @@ class SweepBuilder:
     def checkpoint(self, path: Union[str, CampaignCheckpoint]) -> "SweepBuilder":
         """Persist completed points to a resumable JSONL checkpoint."""
         self._checkpoint = path
+        return self
+
+    def with_event_log(self, path: Union[str, EventLogObserver]) -> "SweepBuilder":
+        """Persist the full typed event stream to a JSONL event log.
+
+        Every event of the campaign — starts with worker attribution,
+        completions, checkpoint flushes — lands in ``path``,
+        fingerprint-guarded like the checkpoint, ready for
+        ``python -m repro.sweep replay`` and rich ``--follow``.  Attaching a
+        log never changes the canonical campaign result.
+        """
+        self._event_log = path
         return self
 
     def strategy(self, strategy: Union[str, SearchStrategy], **kwargs) -> "SweepBuilder":
@@ -245,6 +259,7 @@ class SweepBuilder:
             runner=self._runner,
             chunksize=self._chunksize,
             observers=self._observers,
+            event_log=self._event_log,
         )
 
 
@@ -391,16 +406,18 @@ class Workbench:
         chunksize: Optional[int] = None,
         observers: Sequence[Any] = (),
         progress: bool = False,
+        event_log: Optional[Union[str, EventLogObserver]] = None,
     ) -> CampaignResult:
         """Run (or resume) a campaign through the event-streaming engine.
 
         A :class:`SweepBuilder` may be passed directly: everything it
         accumulated (jobs, checkpoint, strategy, runner, chunksize,
-        observers) carries over, with explicit arguments to this call taking
-        precedence.  Session observers, per-call ``observers`` and — with
-        ``progress=True`` — a live :class:`ProgressReporter` all consume the
-        same event stream; their failures are isolated on
-        ``result.observer_errors``.
+        observers, event log) carries over, with explicit arguments to this
+        call taking precedence.  Session observers, per-call ``observers``
+        and — with ``progress=True`` — a live :class:`ProgressReporter` all
+        consume the same event stream; their failures are isolated on
+        ``result.observer_errors``.  ``event_log`` persists that stream to a
+        JSONL sidecar for ``--follow`` and ``replay``.
         """
         extra_observers: List[Any] = []
         if isinstance(spec, SweepBuilder):
@@ -410,6 +427,7 @@ class Workbench:
             strategy = strategy if strategy is not None else builder._strategy
             runner = runner if runner is not None else builder._runner
             chunksize = chunksize if chunksize is not None else builder._chunksize
+            event_log = event_log if event_log is not None else builder._event_log
             extra_observers = list(builder._observers)
             spec = builder.spec()
         attached = list(self.observers) + extra_observers + list(observers)
@@ -423,6 +441,7 @@ class Workbench:
             runner=runner,
             chunksize=chunksize if chunksize is not None else self.chunksize,
             observers=attached,
+            event_log=event_log,
         )
 
     # ------------------------------------------------------------------ #

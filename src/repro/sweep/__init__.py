@@ -18,6 +18,11 @@ the records into a report.
 * :mod:`repro.sweep.checkpoint` — append-only JSONL checkpoints with
   compaction; a killed campaign resumes without re-evaluating completed
   points, and ``--follow`` tails the file live (:mod:`repro.sweep.follow`);
+* :mod:`repro.sweep.eventlog` — durable event-stream persistence: an
+  :class:`EventLogObserver` serialises every event (schema-versioned,
+  fingerprint-guarded, with worker attribution) to a JSONL sidecar, and
+  :class:`CampaignReplay` re-drives any observer from it deterministically
+  (``python -m repro.sweep replay``);
 * :mod:`repro.sweep.strategies` — grid, seeded-random and
   successive-halving (price analytically, re-simulate survivors) search;
 * :func:`execute_campaign` / :class:`CampaignResult` — orchestration and the
@@ -29,7 +34,7 @@ Prefer driving campaigns through :class:`repro.api.Workbench`;
 :func:`run_campaign` remains as a deprecated one-shot shim.
 
 Command line: ``python -m repro.sweep --help`` (subcommands: ``compact``,
-``diff``, ``follow``).
+``diff``, ``follow``, ``replay``).
 """
 
 from repro.sweep.spec import SweepPoint, SweepSpec, smoke_spec
@@ -62,7 +67,15 @@ from repro.sweep.events import (
     RunEvent,
     RunObserver,
 )
-from repro.sweep.follow import follow_checkpoint
+from repro.sweep.eventlog import (
+    EVENT_LOG_FORMAT,
+    CampaignReplay,
+    EventLogMismatch,
+    EventLogObserver,
+    ReplayStats,
+    default_event_log_path,
+)
+from repro.sweep.follow import follow_campaign, follow_checkpoint, follow_event_log
 from repro.sweep.strategies import (
     GridSearch,
     RandomSearch,
@@ -107,7 +120,15 @@ __all__ = [
     "RunObserver",
     "ProgressReporter",
     "CheckpointObserver",
+    "EVENT_LOG_FORMAT",
+    "EventLogObserver",
+    "EventLogMismatch",
+    "CampaignReplay",
+    "ReplayStats",
+    "default_event_log_path",
+    "follow_campaign",
     "follow_checkpoint",
+    "follow_event_log",
     "SearchStrategy",
     "GridSearch",
     "RandomSearch",

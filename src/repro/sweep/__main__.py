@@ -27,6 +27,14 @@ Maintenance subcommands::
     python -m repro.sweep compact campaign.jsonl     # drop superseded records
     python -m repro.sweep diff new.jsonl old.jsonl   # regression tracking
     python -m repro.sweep follow campaign.jsonl      # same as --follow
+    python -m repro.sweep replay campaign.events.jsonl  # re-drive observers
+
+Event logs: add ``--event-log`` to persist the full typed event stream
+(starts with worker attribution, completions, checkpoint flushes) to a JSONL
+sidecar next to the checkpoint.  ``--follow`` prefers the event log when one
+exists (per-point starts, in-flight counts, per-worker rates) and falls back
+to checkpoint tailing for legacy files; ``replay`` reconstructs the stream
+from disk and re-drives the progress reporter deterministically.
 """
 
 from __future__ import annotations
@@ -39,12 +47,14 @@ from repro.core.partition import StreamBufferMode
 from repro.pipeline.problem import StencilProblem
 from repro.sweep.campaign import diff_canonical_rows
 from repro.sweep.checkpoint import CampaignCheckpoint
-from repro.sweep.follow import follow_checkpoint
+from repro.sweep.eventlog import CampaignReplay, default_event_log_path
+from repro.sweep.events import ProgressReporter
+from repro.sweep.follow import follow_campaign
 from repro.sweep.spec import SweepSpec, _parse_grid_list, _parse_reach_list, smoke_spec
 from repro.sweep.strategies import get_strategy
 
 #: Maintenance subcommands dispatched before flag parsing.
-SUBCOMMANDS = ("compact", "diff", "follow")
+SUBCOMMANDS = ("compact", "diff", "follow", "replay")
 
 
 def build_spec(args: argparse.Namespace) -> SweepSpec:
@@ -110,10 +120,13 @@ def _diff_main(argv) -> int:
 def _follow_main(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sweep follow",
-        description="Tail a live campaign checkpoint, printing points/sec and "
-        "ETA until the campaign completes.",
+        description="Tail a live campaign (event log when available, legacy "
+        "checkpoint otherwise), printing per-point starts, points/sec and ETA "
+        "until the campaign completes.",
     )
-    parser.add_argument("checkpoint", help="JSONL checkpoint path (may not exist yet)")
+    parser.add_argument(
+        "path", help="JSONL checkpoint or event-log path (may not exist yet)"
+    )
     parser.add_argument(
         "--timeout",
         type=float,
@@ -124,9 +137,33 @@ def _follow_main(argv) -> int:
         "--poll", type=float, default=0.25, help="seconds between file polls"
     )
     args = parser.parse_args(argv)
-    return follow_checkpoint(
-        args.checkpoint, poll_seconds=args.poll, idle_timeout=args.timeout
+    return follow_campaign(args.path, poll_seconds=args.poll, idle_timeout=args.timeout)
+
+
+def _replay_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep replay",
+        description="Reconstruct a campaign's typed event stream from a JSONL "
+        "event log and re-drive the progress reporter deterministically "
+        "(rates and ETAs reflect the original run's logged timestamps).  "
+        "Exit code 0 when the log ends in a finished campaign, 1 otherwise.",
     )
+    parser.add_argument("log", help="JSONL event-log path")
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the replayed progress lines, print only the summary",
+    )
+    args = parser.parse_args(argv)
+    replay = CampaignReplay(args.log)
+    observers = []
+    if not args.quiet:
+        observers.append(
+            ProgressReporter(stream=sys.stdout, min_interval=0.0, clock=replay.clock)
+        )
+    stats = replay.replay(*observers)
+    print(f"replay of {args.log}: {stats.format()}")
+    return 0 if stats.finished else 1
 
 
 # --------------------------------------------------------------------------- #
@@ -138,6 +175,7 @@ def main(argv=None) -> int:
             "compact": _compact_main,
             "diff": _diff_main,
             "follow": _follow_main,
+            "replay": _replay_main,
         }[argv[0]](argv[1:])
 
     parser = argparse.ArgumentParser(
@@ -153,6 +191,16 @@ def main(argv=None) -> int:
     parser.add_argument("--iterations", type=int, default=2, help="work-instances per point")
     parser.add_argument("--jobs", "-j", type=int, default=1, help="parallel workers")
     parser.add_argument("--checkpoint", help="JSONL checkpoint path (enables resume)")
+    parser.add_argument(
+        "--event-log",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="persist the full event stream to a JSONL sidecar (default path: "
+        "the checkpoint's with an .events.jsonl suffix when PATH is omitted); "
+        "enables rich --follow and the replay subcommand",
+    )
     parser.add_argument(
         "--progress",
         action="store_true",
@@ -182,13 +230,23 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.follow:
-        return follow_checkpoint(args.follow, idle_timeout=args.follow_timeout)
+        return follow_campaign(args.follow, idle_timeout=args.follow_timeout)
+
+    event_log = args.event_log
+    if event_log == "":  # bare --event-log: sidecar next to the checkpoint
+        if not args.checkpoint:
+            parser.error("--event-log without a PATH requires --checkpoint")
+        event_log = default_event_log_path(args.checkpoint)
 
     spec = build_spec(args)
     strategy = get_strategy(args.strategy, samples=args.samples, seed=args.seed, eta=args.eta)
     workbench = Workbench(jobs=args.jobs)
     result = workbench.run(
-        spec, checkpoint=args.checkpoint, strategy=strategy, progress=args.progress
+        spec,
+        checkpoint=args.checkpoint,
+        strategy=strategy,
+        progress=args.progress,
+        event_log=event_log,
     )
     print(result.format())
     return 0

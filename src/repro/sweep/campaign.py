@@ -35,6 +35,7 @@ from typing import (
 
 from repro.pipeline.cache import CacheInfo
 from repro.sweep.checkpoint import CampaignCheckpoint
+from repro.sweep.eventlog import EventLogObserver
 from repro.sweep.events import (
     CampaignFinished,
     CampaignStarted,
@@ -159,6 +160,10 @@ class CampaignResult:
     strategy: str = "grid"
     wall_seconds: float = 0.0
     checkpoint_path: Optional[str] = None
+    #: JSONL event-log sidecar this campaign appended to (None without one).
+    #: Purely informational: the canonical determinism contract
+    #: (:meth:`canonical_rows`, :meth:`to_json`) never includes it.
+    event_log_path: Optional[str] = None
     #: Plan-cache counters of the freshly evaluated points, keyed by
     #: (worker pid, runner invocation): counters are cumulative within one
     #: ``Runner.run()`` call, and a multi-rung strategy triggers several.
@@ -253,6 +258,8 @@ class CampaignResult:
         ]
         if self.checkpoint_path:
             lines.append(f"checkpoint: {self.checkpoint_path}")
+        if self.event_log_path:
+            lines.append(f"event log: {self.event_log_path}")
         if self.observer_errors:
             lines.append(
                 f"observer errors: {len(self.observer_errors)} isolated "
@@ -339,6 +346,7 @@ def execute_campaign(
     runner: Optional[Runner] = None,
     chunksize: Optional[int] = None,
     observers: Sequence[Any] = (),
+    event_log: Optional[Union[str, EventLogObserver]] = None,
 ) -> CampaignResult:
     """Run (or resume) a campaign through the event-streaming engine.
 
@@ -361,6 +369,11 @@ def execute_campaign(
         Extra event consumers (objects with ``on_event`` or callables).
         Their failures are isolated: an observer that raises is recorded on
         ``result.observer_errors`` and the campaign carries on.
+    event_log:
+        JSONL path (or prepared :class:`EventLogObserver`): every event of
+        this run is persisted there, fingerprint-guarded like the
+        checkpoint, for ``--follow`` and ``python -m repro.sweep replay``.
+        Attaching one never changes the canonical result.
     """
     t0 = time.perf_counter()
     strategy = strategy or GridSearch()
@@ -384,75 +397,105 @@ def execute_campaign(
             total_points=len(points),
             strategy=strategy.name,
         )
-
-    bus = EventBus()
-    aggregator = _CampaignAggregator(preloaded)
-    bus.subscribe(aggregator, critical=True)
-    if store is not None:
-        # The checkpointer appends on PointCompleted and re-publishes
-        # CheckpointFlushed; it is critical — losing appends silently would
-        # corrupt resume semantics.
-        bus.subscribe(CheckpointObserver(store, bus), critical=True)
-    for observer in observers:
-        bus.subscribe(observer)
-
-    bus.publish(
-        CampaignStarted(
-            name=spec.name,
-            fingerprint=fingerprint,
-            total_points=len(points),
-            jobs=runner.jobs,
-            strategy=strategy.name,
-            checkpoint_path=store.path if store is not None else None,
-        )
-    )
-
-    announced: set = set()
-
-    def run_points(stage_points: Sequence[SweepPoint]) -> List[PointRecord]:
-        todo, keys, queued = [], [], set()
-        for point in stage_points:
-            key = point.key()
-            keys.append(key)
-            if key in aggregator.done:
-                if key not in announced:  # one PointResumed per unique key
-                    announced.add(key)
-                    bus.publish(PointResumed(record=aggregator.done[key]))
-            elif key not in queued:  # identical points evaluate once
-                queued.add(key)
-                todo.append(point)
-        returned = runner.run(todo)
-        # Built-in runners deliver records through PointCompleted events via
-        # their event_sink; a fully custom runner (PR-2-era contract: just
-        # return the records) may not publish at all, so fold anything the
-        # events did not deliver into the stream here — checkpointing and
-        # observers then work identically for both contracts.
-        for record in returned or []:
-            if record.key not in aggregator.done:
-                bus.publish(PointCompleted(record=record))
-        return [aggregator.done[key] for key in keys]
-
-    previous_sink = runner.event_sink
-    runner.event_sink = bus.publish
+    elog: Optional[EventLogObserver] = None
+    # From here on the checkpoint's append lock is held: every further
+    # failure — an event-log fingerprint mismatch, a critical observer
+    # raising on an event — must release it (and the event-log handle), or
+    # a long-lived session that catches the error would wedge the files.
     try:
-        records = strategy.execute(points, run_points)
-        wall_seconds = time.perf_counter() - t0
-        # Published while the store is still open: the checkpointer reacts
-        # by writing the durable finished marker.  A crashed campaign never
-        # gets one, so --follow keeps (correctly) reporting it incomplete.
-        bus.publish(
-            CampaignFinished(
+        if event_log is not None:
+            elog = (
+                event_log
+                if isinstance(event_log, EventLogObserver)
+                else EventLogObserver(event_log)
+            )
+            # Opened eagerly — before any event publishes or point runs —
+            # so a fingerprint mismatch refuses the whole campaign up
+            # front, exactly like a mismatched checkpoint.
+            elog.open(
                 name=spec.name,
+                fingerprint=fingerprint,
                 total_points=len(points),
-                evaluated=len(aggregator.fresh),
-                resumed=len(aggregator.resumed_keys),
-                wall_seconds=wall_seconds,
+                strategy=strategy.name,
+                jobs=runner.jobs,
+            )
+
+        bus = EventBus()
+        aggregator = _CampaignAggregator(preloaded)
+        bus.subscribe(aggregator, critical=True)
+        if store is not None:
+            # The checkpointer appends on PointCompleted and re-publishes
+            # CheckpointFlushed; it is critical — losing appends silently
+            # would corrupt resume semantics.
+            bus.subscribe(CheckpointObserver(store, bus), critical=True)
+        if elog is not None:
+            # Critical too: a silently lossy event log would make replay lie.
+            bus.subscribe(elog, critical=True)
+        for observer in observers:
+            bus.subscribe(observer)
+
+        bus.publish(
+            CampaignStarted(
+                name=spec.name,
+                fingerprint=fingerprint,
+                total_points=len(points),
+                jobs=runner.jobs,
+                strategy=strategy.name,
+                checkpoint_path=store.path if store is not None else None,
             )
         )
+
+        announced: set = set()
+
+        def run_points(stage_points: Sequence[SweepPoint]) -> List[PointRecord]:
+            todo, keys, queued = [], [], set()
+            for point in stage_points:
+                key = point.key()
+                keys.append(key)
+                if key in aggregator.done:
+                    if key not in announced:  # one PointResumed per unique key
+                        announced.add(key)
+                        bus.publish(PointResumed(record=aggregator.done[key]))
+                elif key not in queued:  # identical points evaluate once
+                    queued.add(key)
+                    todo.append(point)
+            returned = runner.run(todo)
+            # Built-in runners deliver records through PointCompleted events
+            # via their event_sink; a fully custom runner (PR-2-era
+            # contract: just return the records) may not publish at all, so
+            # fold anything the events did not deliver into the stream here
+            # — checkpointing and observers then work identically for both
+            # contracts.
+            for record in returned or []:
+                if record.key not in aggregator.done:
+                    bus.publish(PointCompleted(record=record))
+            return [aggregator.done[key] for key in keys]
+
+        previous_sink = runner.event_sink
+        runner.event_sink = bus.publish
+        try:
+            records = strategy.execute(points, run_points)
+            wall_seconds = time.perf_counter() - t0
+            # Published while the store is still open: the checkpointer
+            # reacts by writing the durable finished marker.  A crashed
+            # campaign never gets one, so --follow keeps (correctly)
+            # reporting it incomplete.
+            bus.publish(
+                CampaignFinished(
+                    name=spec.name,
+                    total_points=len(points),
+                    evaluated=len(aggregator.fresh),
+                    resumed=len(aggregator.resumed_keys),
+                    wall_seconds=wall_seconds,
+                )
+            )
+        finally:
+            runner.event_sink = previous_sink
     finally:
-        runner.event_sink = previous_sink
         if store is not None:
             store.close()
+        if elog is not None:
+            elog.close()
     return CampaignResult(
         spec=spec,
         records=records,
@@ -462,6 +505,7 @@ def execute_campaign(
         strategy=strategy.name,
         wall_seconds=wall_seconds,
         checkpoint_path=store.path if store is not None else None,
+        event_log_path=elog.path if elog is not None else None,
         worker_cache_info=_aggregate_worker_caches(aggregator.fresh),
         observer_errors=list(bus.errors),
     )
@@ -475,6 +519,7 @@ def run_campaign(
     runner: Optional[Runner] = None,
     chunksize: Optional[int] = None,
     observers: Sequence[Any] = (),
+    event_log: Optional[Union[str, EventLogObserver]] = None,
 ) -> CampaignResult:
     """Deprecated shim over :func:`execute_campaign`.
 
@@ -497,4 +542,5 @@ def run_campaign(
         runner=runner,
         chunksize=chunksize,
         observers=observers,
+        event_log=event_log,
     )

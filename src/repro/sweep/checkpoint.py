@@ -34,6 +34,26 @@ from repro.sweep.spec import SweepSpec
 CHECKPOINT_FORMAT = 1
 
 
+def iter_jsonl(path: str, on_corrupt=None):
+    """Yield the parsed payload of every intact JSONL line of ``path``.
+
+    Blank lines are skipped; unparseable lines (the truncated tail of a
+    killed writer) are passed to ``on_corrupt`` (when given) and dropped —
+    the shared tolerance contract of every campaign sidecar file: the
+    checkpoint, its compactor and the event log all read through here.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                if on_corrupt is not None:
+                    on_corrupt(line)
+
+
 @dataclass(frozen=True)
 class CompactionStats:
     """Outcome of :meth:`CampaignCheckpoint.compact`."""
@@ -82,31 +102,26 @@ class CampaignCheckpoint:
         self.dropped_lines = 0
         if not os.path.exists(self.path):
             return records
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError:
-                    # A truncated tail from a killed run; everything before it
-                    # is intact, so drop the fragment and carry on.
-                    self.dropped_lines += 1
-                    continue
-                kind = payload.get("kind")
-                if kind == "header":
-                    found = payload.get("fingerprint")
-                    if expected is not None and found != expected:
-                        raise CheckpointMismatch(
-                            f"checkpoint {self.path!r} was written for campaign "
-                            f"{payload.get('name')!r} (fingerprint {found}); "
-                            "refusing to resume a campaign with fingerprint "
-                            f"{expected} from it"
-                        )
-                elif kind == "record":
-                    record = PointRecord.from_json_dict(payload)
-                    records[record.key] = record
+
+        def corrupt(_line):
+            # A truncated tail from a killed run; everything before it is
+            # intact, so drop the fragment and carry on.
+            self.dropped_lines += 1
+
+        for payload in iter_jsonl(self.path, on_corrupt=corrupt):
+            kind = payload.get("kind")
+            if kind == "header":
+                found = payload.get("fingerprint")
+                if expected is not None and found != expected:
+                    raise CheckpointMismatch(
+                        f"checkpoint {self.path!r} was written for campaign "
+                        f"{payload.get('name')!r} (fingerprint {found}); "
+                        "refusing to resume a campaign with fingerprint "
+                        f"{expected} from it"
+                    )
+            elif kind == "record":
+                record = PointRecord.from_json_dict(payload)
+                records[record.key] = record
         return records
 
     def read_header(self) -> Optional[dict]:
@@ -120,17 +135,9 @@ class CampaignCheckpoint:
         """
         if not os.path.exists(self.path):
             return None
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                if payload.get("kind") == "header":
-                    return payload
+        for payload in iter_jsonl(self.path):
+            if payload.get("kind") == "header":
+                return payload
         return None
 
     # ------------------------------------------------------------------ #
@@ -166,27 +173,24 @@ class CampaignCheckpoint:
         total_records = 0
         with open(self.path, "r", encoding="utf-8") as fh:
             self._guard_not_locked(fh)
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError:
-                    dropped_lines += 1
-                    continue
-                kind = payload.get("kind")
-                if kind == "header":
-                    if header is None:
-                        header = payload
-                elif kind == "record":
-                    total_records += 1
-                    key = payload.get("key")
-                    if key not in latest:
-                        order.append(key)
-                    latest[key] = payload
-                elif kind == "finished":
-                    finished = payload
+
+        def corrupt(_line):
+            nonlocal dropped_lines
+            dropped_lines += 1
+
+        for payload in iter_jsonl(self.path, on_corrupt=corrupt):
+            kind = payload.get("kind")
+            if kind == "header":
+                if header is None:
+                    header = payload
+            elif kind == "record":
+                total_records += 1
+                key = payload.get("key")
+                if key not in latest:
+                    order.append(key)
+                latest[key] = payload
+            elif kind == "finished":
+                finished = payload
         directory = os.path.dirname(self.path) or "."
         fd, tmp_path = tempfile.mkstemp(
             prefix=os.path.basename(self.path) + ".", suffix=".compact", dir=directory

@@ -1,0 +1,378 @@
+"""Durable event-log persistence and deterministic campaign replay.
+
+The in-process :class:`~repro.sweep.events.EventBus` (PR 3) made campaign
+execution observable; this module makes the stream *durable*.  An
+:class:`EventLogObserver` serialises every :class:`RunEvent` — schema
+version, wall-clock delivery timestamp and a log-wide sequence number per
+line — to a JSONL sidecar next to the checkpoint, guarded by a fingerprint
+header exactly like the checkpoint itself (appending a different campaign's
+events to an existing log raises :class:`EventLogMismatch`).
+
+Events that originate in pool workers keep their true attribution: the
+worker stamps pid / begin timestamp / worker-local sequence into
+``PointRecord.meta`` (see :mod:`repro.sweep.runners`), the runner re-emits
+them as faithful ``PointStarted`` events, and the log records them verbatim
+— so a cross-host reader can reconstruct who ran what, when.
+
+:class:`CampaignReplay` is the read side: it reconstructs the typed event
+stream from disk and re-drives any observer — the live
+:class:`~repro.sweep.events.ProgressReporter`, custom debuggers —
+**deterministically**: :attr:`CampaignReplay.clock` returns the logged
+timestamp of the event currently being dispatched, so a reporter constructed
+with ``clock=replay.clock`` prints byte-identical output on every replay,
+and its final line matches the live run's (both derive from the same
+``CampaignFinished`` payload).
+
+File schema (one JSON object per line)::
+
+    {"kind": "header", "log": "events", "format": 1, "name": ...,
+     "fingerprint": ..., "total_points": ..., "strategy": ..., "jobs": ...}
+    {"kind": "campaign_started", "seq": 1, "ts": 1699.5, "data": {...}}
+    {"kind": "point_started",    "seq": 2, "ts": 1699.6, "data": {...}}
+    ...
+
+``seq`` is the log-wide delivery order (monotonic across appended sessions),
+``ts`` the wall clock at delivery; point events additionally carry the
+worker-side stamps inside ``data``.  Unknown kinds are skipped on replay, so
+old readers survive new event types.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict, Iterator, List, NamedTuple, Optional, TextIO
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX platforms: advisory locking degrades to none
+    fcntl = None
+
+from repro.sweep.checkpoint import iter_jsonl
+from repro.sweep.events import (
+    CampaignFinished,
+    CampaignStarted,
+    CheckpointFlushed,
+    EventBus,
+    ObserverError,
+    PointCompleted,
+    PointResumed,
+    PointStarted,
+    RunEvent,
+    RunObserver,
+)
+from repro.sweep.record import PointRecord
+
+#: Version tag of the event-log file format.
+EVENT_LOG_FORMAT = 1
+
+
+class EventLogMismatch(RuntimeError):
+    """The event log on disk belongs to a different campaign spec."""
+
+
+def default_event_log_path(checkpoint_path: str) -> str:
+    """The sidecar event-log path for a checkpoint: ``c.jsonl → c.events.jsonl``."""
+    path = os.fspath(checkpoint_path)
+    root, ext = os.path.splitext(path)
+    if ext == ".jsonl":
+        return root + ".events.jsonl"
+    return path + ".events.jsonl"
+
+
+# --------------------------------------------------------------------------- #
+# serialisation
+# --------------------------------------------------------------------------- #
+#: Events carrying a full PointRecord under ``data["record"]``.
+_RECORD_EVENTS = {"point_completed": PointCompleted, "point_resumed": PointResumed}
+
+#: Events whose dataclass fields serialise as plain JSON scalars.
+_FLAT_EVENTS = {
+    "campaign_started": CampaignStarted,
+    "point_started": PointStarted,
+    "checkpoint_flushed": CheckpointFlushed,
+    "campaign_finished": CampaignFinished,
+}
+
+
+def event_to_payload(event: RunEvent, seq: int, ts: float) -> Dict[str, Any]:
+    """One JSONL line for ``event``: kind + log stamps + event data."""
+    if event.kind in _RECORD_EVENTS:
+        data: Dict[str, Any] = {"record": event.record.to_json_dict()}
+    else:
+        # Flat events serialise their dataclass fields directly; an unknown
+        # RunEvent subclass degrades to whatever public scalars it exposes.
+        data = {
+            name: value
+            for name, value in vars(event).items()
+            if not name.startswith("_")
+        }
+    return {"kind": event.kind, "seq": seq, "ts": ts, "data": data}
+
+
+def event_from_payload(payload: Dict[str, Any]) -> Optional[RunEvent]:
+    """Rebuild the typed event of one log line (None for unknown kinds)."""
+    kind = payload.get("kind")
+    data = payload.get("data") or {}
+    if kind in _RECORD_EVENTS:
+        record = PointRecord.from_json_dict(data.get("record") or {})
+        return _RECORD_EVENTS[kind](record=record)
+    cls = _FLAT_EVENTS.get(kind)
+    if cls is None:
+        return None
+    fields = {name for name in cls.__dataclass_fields__}
+    return cls(**{name: value for name, value in data.items() if name in fields})
+
+
+# --------------------------------------------------------------------------- #
+# write side
+# --------------------------------------------------------------------------- #
+class EventLogObserver(RunObserver):
+    """Serialises every campaign event to a JSONL sidecar, as it happens.
+
+    Subscribe it (critical) to a campaign's bus — or pass ``event_log=`` to
+    :func:`~repro.sweep.campaign.execute_campaign`, which also opens it
+    eagerly so a fingerprint mismatch refuses *before* any work runs.  The
+    log is append-only: resuming a campaign appends a fresh
+    ``campaign_started`` session to the same file (the replay side resets
+    per session, exactly like a live :class:`ProgressReporter`).
+    """
+
+    def __init__(self, path: str, clock: Callable[[], float] = time.time) -> None:
+        self.path = os.fspath(path)
+        self._clock = clock
+        self._fh: Optional[TextIO] = None
+        self.seq = 0  #: last log-wide sequence number written
+
+    # ------------------------------------------------------------------ #
+    def open(
+        self,
+        name: str,
+        fingerprint: str,
+        total_points: Optional[int] = None,
+        strategy: Optional[str] = None,
+        jobs: Optional[int] = None,
+    ) -> None:
+        """Open for append, writing (or fingerprint-checking) the header."""
+        if self._fh is not None:
+            return
+        existing = self.read_header(self.path)
+        if existing is not None:
+            found = existing.get("fingerprint")
+            if found != fingerprint:
+                raise EventLogMismatch(
+                    f"event log {self.path!r} was written for campaign "
+                    f"{existing.get('name')!r} (fingerprint {found}); refusing "
+                    f"to append a campaign with fingerprint {fingerprint} to it"
+                )
+            self.seq = self._last_seq()
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        needs_newline = False
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                needs_newline = fh.read(1) != b"\n"
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._lock_append_handle()
+        if needs_newline:
+            # A killed writer's torn tail: terminate it so the next line
+            # starts clean (the torn fragment is dropped on read).
+            self._fh.write("\n")
+            self._fh.flush()
+        if existing is None:
+            self._write(
+                {
+                    "kind": "header",
+                    "log": "events",
+                    "format": EVENT_LOG_FORMAT,
+                    "name": name,
+                    "fingerprint": fingerprint,
+                    "total_points": total_points,
+                    "strategy": strategy,
+                    "jobs": jobs,
+                }
+            )
+
+    def _lock_append_handle(self) -> None:
+        """Hold an advisory exclusive lock while open, like the checkpoint.
+
+        Two campaigns appending to one log would interleave sessions with
+        colliding sequence numbers — replay and the follower would then see
+        garbage.  Fail fast instead.
+        """
+        if fcntl is None:
+            return
+        try:
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            self._fh.close()
+            self._fh = None
+            raise RuntimeError(
+                f"event log {self.path!r} is already open for append by "
+                "another campaign"
+            ) from None
+
+    @staticmethod
+    def read_header(path: str) -> Optional[dict]:
+        """The event-log header on disk (None when the file is absent)."""
+        if not os.path.exists(path):
+            return None
+        for payload in iter_jsonl(path):
+            if payload.get("kind") == "header":
+                return payload
+            break  # the header is always the first intact line
+        return None
+
+    def _last_seq(self) -> int:
+        """Highest sequence number already in the file (append resumes it)."""
+        last = 0
+        for payload in iter_jsonl(self.path):
+            last = payload.get("seq", last) or last
+        return last
+
+    # ------------------------------------------------------------------ #
+    def on_event(self, event: RunEvent) -> None:
+        if self._fh is None:
+            if not isinstance(event, CampaignStarted):
+                return  # standalone use: nothing to log before a session opens
+            self.open(
+                name=event.name,
+                fingerprint=event.fingerprint,
+                total_points=event.total_points,
+                strategy=event.strategy,
+                jobs=event.jobs,
+            )
+        self.seq += 1
+        self._write(event_to_payload(event, seq=self.seq, ts=self._clock()))
+
+    def _write(self, payload: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventLogObserver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# read side
+# --------------------------------------------------------------------------- #
+class ReplayStats(NamedTuple):
+    """Outcome of one :meth:`CampaignReplay.replay` pass."""
+
+    events: int  #: typed events delivered to the observers
+    skipped: int  #: unknown-kind lines skipped (forward compatibility)
+    campaigns: int  #: campaign sessions in the log
+    finished: bool  #: the last session reached CampaignFinished
+    errors: List[ObserverError]  #: isolated observer failures
+
+    def format(self) -> str:
+        """One-line summary for the ``replay`` CLI subcommand."""
+        state = "finished" if self.finished else "INCOMPLETE"
+        extra = f", {self.skipped} unknown line(s) skipped" if self.skipped else ""
+        return (
+            f"replayed {self.events} event(s) across {self.campaigns} "
+            f"session(s){extra}; campaign {state}"
+        )
+
+
+class CampaignReplay:
+    """Reconstruct a persisted event stream and re-drive observers from it.
+
+    Replay is deterministic: observers that need a clock should use
+    :attr:`clock`, which returns the logged delivery timestamp of the event
+    currently in flight — two replays of one log produce byte-identical
+    output, and rates/ETAs reflect the *original* run's timing, not the
+    replay's.
+
+    ::
+
+        replay = CampaignReplay("campaign.events.jsonl")
+        reporter = ProgressReporter(stream=sys.stdout, min_interval=0.0,
+                                    clock=replay.clock)
+        stats = replay.replay(reporter)
+    """
+
+    def __init__(self, path: str, fingerprint: Optional[str] = None) -> None:
+        self.path = os.fspath(path)
+        if not os.path.exists(self.path):
+            raise FileNotFoundError(f"no event log at {self.path!r}")
+        self.header = EventLogObserver.read_header(self.path)
+        if self.header is None or self.header.get("log") != "events":
+            raise EventLogMismatch(
+                f"{self.path!r} is not an event log (no event-log header); "
+                "was a checkpoint path passed by mistake?"
+            )
+        if fingerprint is not None and self.header.get("fingerprint") != fingerprint:
+            raise EventLogMismatch(
+                f"event log {self.path!r} was written for campaign "
+                f"{self.header.get('name')!r} (fingerprint "
+                f"{self.header.get('fingerprint')}); refusing to replay it as "
+                f"fingerprint {fingerprint}"
+            )
+        self._now: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    def clock(self) -> float:
+        """Logged timestamp of the event currently being dispatched."""
+        return self._now
+
+    def events(self) -> Iterator[RunEvent]:
+        """The typed event stream, in logged order (unknown kinds skipped).
+
+        Advances :meth:`clock` as a side effect, so observers driven by hand
+        see the same deterministic time base as :meth:`replay`.
+        """
+        for payload in iter_jsonl(self.path):
+            if payload.get("kind") == "header":
+                continue
+            event = event_from_payload(payload)
+            if event is None:
+                continue
+            self._now = payload.get("ts", self._now) or self._now
+            yield event
+
+    def replay(self, *observers: Any) -> ReplayStats:
+        """Publish every logged event to ``observers`` through a fresh bus.
+
+        Observer failures are isolated exactly as in a live campaign and
+        returned on :attr:`ReplayStats.errors`.
+        """
+        bus = EventBus()
+        for observer in observers:
+            bus.subscribe(observer)
+        events = skipped = campaigns = 0
+        finished = False
+        for payload in iter_jsonl(self.path):
+            if payload.get("kind") == "header":
+                continue
+            event = event_from_payload(payload)
+            if event is None:
+                skipped += 1
+                continue
+            self._now = payload.get("ts", self._now) or self._now
+            if isinstance(event, CampaignStarted):
+                campaigns += 1
+                finished = False
+            elif isinstance(event, CampaignFinished):
+                finished = True
+            bus.publish(event)
+            events += 1
+        return ReplayStats(
+            events=events,
+            skipped=skipped,
+            campaigns=campaigns,
+            finished=finished,
+            errors=list(bus.errors),
+        )

@@ -69,13 +69,23 @@ class CampaignStarted(RunEvent):
 
 @dataclass(frozen=True)
 class PointStarted(RunEvent):
-    """A point was handed to an executor (serial loop or pool submission)."""
+    """A point actually began evaluating in some worker process.
+
+    Attribution fields are stamped by the evaluating process itself:
+    ``worker`` is its pid, ``ts`` the wall-clock begin time and ``seq`` the
+    worker-local evaluation sequence number.  Pool runners ship the stamps
+    back inside :attr:`PointRecord.meta` and re-emit the event from the
+    parent, so the stream reflects *actual* execution, not submission.
+    """
 
     kind = "point_started"
 
     key: str
     label: str
     rung: int = 0
+    worker: Optional[int] = None  #: pid of the evaluating process
+    ts: Optional[float] = None  #: wall-clock begin time (``time.time()``)
+    seq: Optional[int] = None  #: worker-local evaluation sequence number
 
 
 @dataclass(frozen=True)

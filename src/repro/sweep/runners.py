@@ -8,13 +8,18 @@ an optional ``on_result`` callback observes records as they complete.
 Runners additionally participate in the campaign event stream: when a
 :attr:`Runner.event_sink` is installed (the campaign engine points it at its
 :class:`~repro.sweep.events.EventBus`), every point publishes a
-:class:`~repro.sweep.events.PointStarted` event when it is handed to an
-executor and a :class:`~repro.sweep.events.PointCompleted` event when its
-record lands — always from the parent process, so observers never cross a
-process boundary.  Per record the order is: ``PointStarted`` …evaluate…
-``on_result`` → ``PointCompleted``; ``on_result`` runs first so legacy
-callback wrappers (e.g. crash-injection test runners) still gate what the
-event stream sees.
+:class:`~repro.sweep.events.PointStarted` event when a worker actually
+begins evaluating it and a :class:`~repro.sweep.events.PointCompleted` event
+when its record lands — always from the parent process, so observers never
+cross a process boundary.  Start events carry true attribution (worker pid,
+wall-clock begin timestamp, worker-local sequence number): the evaluating
+process stamps them into ``PointRecord.meta`` (``worker``/``started_ts``/
+``finished_ts``/``worker_seq``), and the pool runner re-emits faithful
+``PointStarted`` events from those stamps when the chunk ships back —
+*never* at submit time, so event order and ETAs reflect actual execution.
+Per record the order is: ``PointStarted`` … ``on_result`` →
+``PointCompleted``; ``on_result`` runs first so legacy callback wrappers
+(e.g. crash-injection test runners) still gate what the event stream sees.
 
 The :class:`ProcessPoolRunner` shards the point list into contiguous chunks
 and ships whole chunks to workers.  Three things make this fast:
@@ -43,7 +48,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.pipeline.backends import get_backend
 from repro.pipeline.cache import CacheInfo, plan_cache
@@ -66,14 +71,40 @@ def _cache_meta(baseline: Optional[CacheInfo] = None) -> Dict[str, int]:
     return {"cache_hits": hits, "cache_misses": misses, "cache_size": info.currsize}
 
 
+#: Worker-local evaluation counter (reset when the pid changes: a forked
+#: worker inherits the parent's value, but its own sequence starts at 0).
+_WORKER_SEQ = 0
+_SEQ_PID: Optional[int] = None
+
+
+def _begin_stamp() -> Dict[str, Any]:
+    """Attribution stamps taken when an evaluation actually begins.
+
+    Stamped *in the evaluating process* (pool worker or the in-process
+    loop), shipped back inside ``PointRecord.meta`` and re-emitted as
+    :class:`PointStarted` attribution — the durable record of who ran what,
+    when.
+    """
+    global _WORKER_SEQ, _SEQ_PID
+    pid = os.getpid()
+    if _SEQ_PID != pid:
+        _SEQ_PID = pid
+        _WORKER_SEQ = 0
+    _WORKER_SEQ += 1
+    return {"worker": pid, "started_ts": time.time(), "worker_seq": _WORKER_SEQ}
+
+
 def _evaluate_point(
     point: SweepPoint,
     keep_result: bool,
     cache_baseline: Optional[CacheInfo] = None,
     strip_artifacts: bool = False,
     run_index: int = 0,
+    stamp: Optional[Dict[str, Any]] = None,
 ) -> PointRecord:
     """Evaluate one point against this process's warm plan cache."""
+    if stamp is None:
+        stamp = _begin_stamp()
     t0 = time.perf_counter()
     design = compile_problem(point.problem)
     t1 = time.perf_counter()
@@ -88,8 +119,9 @@ def _evaluate_point(
         # Backend time alone, excluding (possibly cold) compilation — what
         # e.g. the E5 speedup column compares between backends.
         "eval_seconds": t2 - t1,
-        "worker": os.getpid(),
         "run": run_index,
+        **stamp,
+        "finished_ts": time.time(),
     }
     if result.perf:
         # Backend performance telemetry (the simulate backend's scheduler
@@ -238,9 +270,43 @@ class Runner:
         raise NotImplementedError
 
 
-def _emit_started(sink: Optional[EventSink], point: SweepPoint) -> None:
+def _emit_started(
+    sink: Optional[EventSink], point: SweepPoint, stamp: Dict[str, Any]
+) -> None:
+    """Publish a start with live attribution (the in-process path)."""
     if sink is not None:
-        sink(PointStarted(key=point.key(), label=point.display_label, rung=point.rung))
+        sink(
+            PointStarted(
+                key=point.key(),
+                label=point.display_label,
+                rung=point.rung,
+                worker=stamp.get("worker"),
+                ts=stamp.get("started_ts"),
+                seq=stamp.get("worker_seq"),
+            )
+        )
+
+
+def _emit_started_from_record(sink: Optional[EventSink], record: PointRecord) -> None:
+    """Re-emit a worker's begin stamp as a faithful :class:`PointStarted`.
+
+    The pool runner cannot publish when the worker begins (observers live in
+    the parent), so the worker stamps ``meta`` and the parent replays the
+    start from those stamps once the chunk ships back — attribution is true
+    even though delivery is deferred.
+    """
+    if sink is not None:
+        meta = record.meta
+        sink(
+            PointStarted(
+                key=record.key,
+                label=record.label,
+                rung=record.rung,
+                worker=meta.get("worker"),
+                ts=meta.get("started_ts"),
+                seq=meta.get("worker_seq"),
+            )
+        )
 
 
 def _emit_completed(sink: Optional[EventSink], record: PointRecord) -> None:
@@ -260,13 +326,15 @@ def _run_in_process(
     baseline = plan_cache.cache_info()
     records = []
     for point in points:
-        _emit_started(event_sink, point)
+        stamp = _begin_stamp()
+        _emit_started(event_sink, point, stamp)
         record = _evaluate_point(
             point,
             keep_result=keep_results,
             cache_baseline=baseline,
             strip_artifacts=strip_artifacts,
             run_index=run_index,
+            stamp=stamp,
         )
         records.append(record)
         if on_result is not None:
@@ -369,15 +437,19 @@ class ProcessPoolRunner(Runner):
         chunks = self._chunk(points, jobs)
         by_chunk: Dict[int, List[PointRecord]] = {}
         with ProcessPoolExecutor(max_workers=jobs, mp_context=self._context()) as pool:
-            futures = {}
-            for index, chunk in enumerate(chunks):
-                for point in chunk:
-                    _emit_started(self.event_sink, point)
-                futures[pool.submit(_evaluate_chunk, (chunk, keep_results, run_index))] = index
+            futures = {
+                pool.submit(_evaluate_chunk, (chunk, keep_results, run_index)): index
+                for index, chunk in enumerate(chunks)
+            }
             for future in as_completed(futures):
                 records = future.result()
                 by_chunk[futures[future]] = records
+                # Starts are deliberately NOT published at submit time: the
+                # worker's begin stamps ride back in each record's meta and
+                # are replayed here, in true execution order within the
+                # chunk, so starts attribute and interleave faithfully.
                 for record in records:
+                    _emit_started_from_record(self.event_sink, record)
                     if on_result is not None:
                         on_result(record)
                     _emit_completed(self.event_sink, record)

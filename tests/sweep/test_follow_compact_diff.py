@@ -2,6 +2,7 @@
 
 import io
 import json
+import os
 import threading
 import time
 
@@ -274,6 +275,153 @@ class TestAdaptiveStrategyCompletion:
             execute_campaign(spec, checkpoint=path, runner=CrashingRunner())
         kinds = [p["kind"] for p in checkpoint_lines(path)]
         assert "finished" not in kinds
+
+
+class TestFollowerResync:
+    """The stale-offset bugfixes: truncation/rewrite detection and torn-tail
+    salvage instead of silent stalls."""
+
+    def test_tailer_resyncs_after_truncation(self, spec, tmp_path):
+        from repro.sweep.follow import _CheckpointTailer
+
+        path = str(tmp_path / "trunc.jsonl")
+        execute_campaign(spec, checkpoint=path)
+        tailer = _CheckpointTailer(path)
+        tailer.poll()
+        assert tailer.count == spec.size
+        # Truncate to the header plus three records: the offset now points
+        # beyond EOF — the pre-fix tailer would stall here forever.
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines(lines[:4])
+        tailer.poll()
+        assert tailer.resyncs == 1
+        assert tailer.count == 3
+        assert not tailer.finished
+
+    def test_tailer_resyncs_after_compaction(self, spec, tmp_path):
+        from repro.sweep.follow import _CheckpointTailer
+
+        path = str(tmp_path / "resync.jsonl")
+        result = execute_campaign(spec, checkpoint=path)
+        # Superseded duplicates make the file strictly longer than its
+        # compacted form, the shape a long-lived campaign accumulates.
+        with open(path, "a", encoding="utf-8") as fh:
+            for record in result.records[:4]:
+                payload = record.to_json_dict()
+                payload["kind"] = "record"
+                fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        tailer = _CheckpointTailer(path)
+        tailer.poll()
+        assert tailer.count == spec.size
+        CampaignCheckpoint(path).compact()
+        tailer.poll()
+        assert tailer.resyncs == 1
+        assert tailer.count == spec.size  # count accuracy survives the rewrite
+        assert tailer.complete
+
+    def test_tailer_resyncs_when_a_rewrite_regrows_past_the_old_offset(
+        self, spec, tmp_path
+    ):
+        """Compact reproduces the header byte-identically and the resumed
+        campaign can regrow the file beyond the stale offset before the next
+        poll — only the inode betrays the atomic rename."""
+        from repro.sweep.follow import _CheckpointTailer
+
+        path = str(tmp_path / "regrow.jsonl")
+        result = execute_campaign(spec, checkpoint=path)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        records = [l for l in lines if '"kind": "record"' in l]
+        # Stage mid-campaign: header + 10 records + heavy duplicate churn.
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines([lines[0]] + records[:10] + records[:10] * 3)
+        tailer = _CheckpointTailer(path)
+        tailer.poll()
+        assert tailer.count == 10
+        stale_offset = tailer.offset
+        CampaignCheckpoint(path).compact()
+        # The campaign resumes and appends well past the follower's offset.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.writelines(records[10:] + records * 3)
+        assert os.path.getsize(path) > stale_offset  # size check is blind here
+        tailer.poll()
+        assert tailer.resyncs == 1
+        assert tailer.count == spec.size
+
+    def test_follow_survives_a_mid_tail_compact(self, spec, tmp_path):
+        """The acceptance scenario: compact runs between polls; the follower
+        prints a resync notice and still reaches an accurate N/N."""
+        path = str(tmp_path / "midtail.jsonl")
+        result = execute_campaign(spec, checkpoint=path)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        live_lines = lines[: 1 + spec.size - 3]  # header + all but 3 records
+        tail_lines = lines[1 + spec.size - 3 :]
+        # Stage a still-running campaign: superseded duplicates, no finish.
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines(live_lines)
+            for record in result.records[:4]:
+                payload = record.to_json_dict()
+                payload["kind"] = "record"
+                fh.write(json.dumps(payload, sort_keys=True) + "\n")
+
+        steps = {"n": 0}
+
+        def fake_sleep(_seconds):
+            steps["n"] += 1
+            if steps["n"] == 1:
+                CampaignCheckpoint(path).compact()
+            elif steps["n"] == 2:
+                with open(path, "a", encoding="utf-8") as fh:
+                    fh.writelines(tail_lines)
+
+        stream = io.StringIO()
+        code = follow_checkpoint(
+            path, poll_seconds=0.01, idle_timeout=5.0, stream=stream, sleep=fake_sleep
+        )
+        out = stream.getvalue()
+        assert code == 0
+        assert "checkpoint rewritten, re-syncing" in out
+        assert f"campaign complete: {spec.size} points" in out
+
+    def test_torn_record_line_reports_incomplete_not_a_hang(self, spec, tmp_path):
+        """A writer killed mid-record leaves an unparseable tail: follow must
+        report the campaign incomplete with exit code 1, not sit at N-1/N."""
+        path = str(tmp_path / "torn.jsonl")
+        execute_campaign(spec, checkpoint=path)
+        with open(path, encoding="utf-8") as fh:
+            lines = [l for l in fh if '"kind": "finished"' not in l]
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines(lines[:-1])
+            fh.write(lines[-1].rstrip("\n")[: len(lines[-1]) // 2])  # torn mid-JSON
+        stream = io.StringIO()
+        code = follow_checkpoint(path, poll_seconds=0.02, idle_timeout=0.2, stream=stream)
+        out = stream.getvalue()
+        assert code == 1
+        assert f"{spec.size - 1}/{spec.size}" in out
+        assert "campaign incomplete" in out and "giving up" in out
+
+    def test_torn_finished_marker_is_salvaged(self, spec, tmp_path):
+        """A finished marker missing only its newline still completes the
+        campaign: the tailer re-reads the tail before giving up."""
+        from repro.sweep.strategies import RandomSearch
+
+        # Random strategy: counts prove nothing, only the marker can
+        # complete the campaign — so a salvaged tail is load-bearing.
+        path = str(tmp_path / "salvage.jsonl")
+        execute_campaign(spec, checkpoint=path, strategy=RandomSearch(samples=5))
+        content = open(path, encoding="utf-8").read()
+        assert content.endswith("\n")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content[:-1])  # the writer died before the last newline
+        stream = io.StringIO()
+        code = follow_checkpoint(path, poll_seconds=0.02, idle_timeout=0.2, stream=stream)
+        out = stream.getvalue()
+        assert code == 0
+        assert "salvaged torn trailing line" in out
+        assert "campaign complete: 5 points" in out
 
 
 class TestConcurrentCompaction:
