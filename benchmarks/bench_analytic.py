@@ -1,0 +1,186 @@
+"""Benchmarks for the vectorized analytic pricing engine.
+
+Two claims are tracked so future PRs can watch the batched fast path:
+
+* a warm :meth:`~repro.api.Workbench.evaluate_batch` session — packed design
+  columns and memoized folds reused across calls — prices a 1000-point batch
+  at least **20x faster** than the per-point scalar loop on an uncontended
+  host, while producing bitwise-identical metrics;
+* re-pricing the same session under *new* request knobs (different
+  iteration counts, so the folds re-run against the packed columns) still
+  beats the scalar loop by an order of magnitude.
+
+Run standalone with ``python benchmarks/bench_analytic.py``; the numbers
+land in ``BENCH_analytic.json`` via ``--benchmark-json`` (the standard
+pytest-benchmark record, same machine-info schema as ``BENCH_sim.json``)
+and in each test's ``extra_info``.  Set ``REPRO_BENCH_SMOKE=1`` (CI does)
+to shrink the batch and skip the speedup assertions — smoke runs check the
+plumbing, not the performance of a shared runner.
+"""
+
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_analytic.py
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (_ROOT, os.path.join(_ROOT, "src")):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
+from benchmarks.conftest import run_once
+from repro.api import Workbench
+from repro.pipeline import StencilProblem
+from repro.pipeline.cache import PlanCache
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Batch size: the acceptance claim is stated over a 1000-point batch.
+N_POINTS = 120 if SMOKE else 1000
+
+
+def batch_problems():
+    """Distinct paper-style problems spanning grid shapes (one per point)."""
+    if SMOKE:
+        shapes = [(rows, cols) for rows in range(9, 21) for cols in range(9, 19)]
+    else:
+        shapes = [(rows, cols) for rows in range(9, 49) for cols in range(9, 34)]
+    problems = [StencilProblem.paper_example(rows, cols) for rows, cols in shapes]
+    assert len(problems) == N_POINTS
+    return problems
+
+
+def best_of(fn, rounds=5):
+    result, best = None, float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, max(best, 1e-9)
+
+
+class TestBatchedAnalyticPricing:
+    def test_bench_scalar_vs_vectorized(self, benchmark):
+        """The acceptance claim: >=20x warm speedup on a 1k-point batch."""
+        problems = batch_problems()
+        iterations = 5
+        cache = PlanCache(max_entries=2048)
+        workbench = Workbench(cache=cache)
+        cpus = (
+            len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else os.cpu_count()
+        )
+
+        # Warm both paths: the scalar loop gets a hot plan cache, the batch
+        # path a populated packed session, so the comparison isolates pricing.
+        workbench.evaluate_batch(problems, iterations=iterations, with_artifacts=False)
+        workbench.evaluate(problems[0], iterations=iterations)
+
+        scalar, scalar_seconds = best_of(
+            lambda: [workbench.evaluate(p, iterations=iterations) for p in problems]
+        )
+        vectorized = run_once(
+            benchmark,
+            workbench.evaluate_batch,
+            problems,
+            iterations=iterations,
+            with_artifacts=False,
+        )
+        _, vectorized_seconds = best_of(
+            lambda: workbench.evaluate_batch(
+                problems, iterations=iterations, with_artifacts=False
+            )
+        )
+        _, artifacts_seconds = best_of(
+            lambda: workbench.evaluate_batch(problems, iterations=iterations)
+        )
+        # New knobs each call: the packed columns are reused but every fold
+        # re-runs, so this is the floor for a *changing* re-price session.
+        knob_counter = iter(range(10, 10 + 64))
+        _, reprice_seconds = best_of(
+            lambda: workbench.evaluate_batch(
+                problems, iterations=next(knob_counter), with_artifacts=False
+            )
+        )
+
+        # The two paths must agree bitwise before any speedup is meaningful.
+        assert len(vectorized) == len(scalar)
+        for s, v in zip(scalar, vectorized):
+            assert (s.cycles, s.dram_words_read, s.dram_words_written) == (
+                v.cycles,
+                v.dram_words_read,
+                v.dram_words_written,
+            )
+            assert (s.dram_bytes, s.operations, s.extra) == (
+                v.dram_bytes,
+                v.operations,
+                v.extra,
+            )
+
+        speedup = scalar_seconds / vectorized_seconds
+        reprice_speedup = scalar_seconds / reprice_seconds
+        artifacts_speedup = scalar_seconds / artifacts_seconds
+        # A contended host (shared CI runner, single core) distorts the
+        # per-point timings; record the label so the BENCH trajectory stays
+        # interpretable, and only assert performance on clean hosts.
+        contended = cpus is None or cpus < 2
+        benchmark.extra_info.update(
+            points=len(problems),
+            iterations=iterations,
+            smoke=SMOKE,
+            cpus=cpus,
+            contended=contended,
+            scalar_points_per_second=round(len(problems) / scalar_seconds),
+            vectorized_points_per_second=round(len(problems) / vectorized_seconds),
+            scalar_seconds=round(scalar_seconds, 6),
+            vectorized_seconds=round(vectorized_seconds, 6),
+            warm_speedup=round(speedup, 2),
+            reprice_new_knobs_speedup=round(reprice_speedup, 2),
+            with_artifacts_speedup=round(artifacts_speedup, 2),
+        )
+        print()
+        print(
+            f"batch: {len(problems)} points, iterations={iterations}, "
+            f"{cpus} core(s){' [contended]' if contended else ''}"
+        )
+        print(
+            f"scalar loop : {scalar_seconds * 1e3:7.2f} ms "
+            f"({len(problems) / scalar_seconds:10,.0f} points/s)"
+        )
+        print(
+            f"vectorized  : {vectorized_seconds * 1e3:7.2f} ms "
+            f"({len(problems) / vectorized_seconds:10,.0f} points/s, {speedup:.1f}x)"
+        )
+        print(
+            f"new knobs   : {reprice_seconds * 1e3:7.2f} ms "
+            f"({reprice_speedup:.1f}x), with artifacts {artifacts_speedup:.1f}x"
+        )
+        if SMOKE:
+            print(f"smoke run ({len(problems)} points): speedup recorded, not asserted")
+        elif contended:
+            print(f"contended host: {speedup:.1f}x recorded, not asserted")
+        else:
+            assert speedup >= 20, (
+                f"warm vectorized pricing must be >=20x the scalar loop on an "
+                f"uncontended host, measured {speedup:.1f}x"
+            )
+            assert reprice_speedup > 5
+
+
+if __name__ == "__main__":
+    import argparse
+
+    import pytest
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--benchmark-json", default="BENCH_analytic.json",
+        help="where to write the benchmark record (default: BENCH_analytic.json)",
+    )
+    args = parser.parse_args()
+    sys.exit(
+        pytest.main(
+            [__file__, "--benchmark-only", "-s", f"--benchmark-json={args.benchmark_json}"]
+        )
+    )

@@ -298,6 +298,23 @@ class Workbench:
         self.cache = cache
         self.chunksize = chunksize
         self.observers: List[Any] = list(observers)
+        self._analytic_engine: Optional[Any] = None
+
+    @property
+    def analytic_engine(self):
+        """The session's vectorized pricing engine (lazy, shared across calls).
+
+        Serial ``evaluate_batch(backend="analytic")`` calls price through
+        this :class:`~repro.pipeline.analytic_batch.AnalyticBatchEngine`, so
+        the packed per-design knobs survive from one batch to the next —
+        re-pricing a space under new timings or instance counts is pure
+        array arithmetic.
+        """
+        if self._analytic_engine is None:
+            from repro.pipeline.analytic_batch import AnalyticBatchEngine
+
+            self._analytic_engine = AnalyticBatchEngine()
+        return self._analytic_engine
 
     @classmethod
     def ensure(cls, workbench: Optional["Workbench"], jobs: int = 1) -> "Workbench":
@@ -374,9 +391,20 @@ class Workbench:
         request: Optional[EvaluationRequest] = None,
         jobs: Optional[int] = None,
         chunksize: Optional[int] = None,
+        with_artifacts: bool = True,
         **request_overrides,
     ) -> List[EvaluationResult]:
-        """Evaluate many problems, sharded over the session's runner policy."""
+        """Evaluate many problems, sharded over the session's runner policy.
+
+        Serial analytic batches price through the session's
+        :attr:`analytic_engine`, whose packed-session cache keys on the
+        problem list itself: re-pricing the same problems under new request
+        knobs (iterations, DRAM timing, write policy) reuses the packed
+        design columns and skips compilation outright (see
+        :mod:`repro.pipeline.analytic_batch`).  Results always come back in
+        input order.  ``with_artifacts=False`` skips per-point prediction
+        artifacts when only the metrics matter (bulk scoring loops).
+        """
         return batch_evaluate(
             problems,
             backend=backend or self.default_backend,
@@ -384,6 +412,8 @@ class Workbench:
             cache=self.cache,
             jobs=jobs if jobs is not None else self.jobs,
             chunksize=chunksize if chunksize is not None else self.chunksize,
+            engine=self.analytic_engine,
+            with_artifacts=with_artifacts,
             **request_overrides,
         )
 

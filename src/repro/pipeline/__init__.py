@@ -34,7 +34,7 @@ with a single shared pipeline:
 
 from repro.pipeline.problem import StencilProblem
 from repro.pipeline.cache import CacheInfo, PlanCache, plan_cache, clear_plan_cache
-from repro.pipeline.compile import CompiledDesign, compile
+from repro.pipeline.compile import CompiledDesign, compile, compile_batch
 from repro.pipeline.analytic import (
     ANALYTIC_TOLERANCE,
     PerformancePrediction,
@@ -43,6 +43,7 @@ from repro.pipeline.analytic import (
     predict_performance,
     validate_prediction,
 )
+from repro.pipeline.analytic_batch import AnalyticBatchEngine, batching_enabled
 from repro.pipeline.backends import (
     Backend,
     EvaluationRequest,
@@ -63,6 +64,9 @@ __all__ = [
     "clear_plan_cache",
     "CompiledDesign",
     "compile",
+    "compile_batch",
+    "AnalyticBatchEngine",
+    "batching_enabled",
     "ANALYTIC_TOLERANCE",
     "PerformancePrediction",
     "ReferenceBand",

@@ -237,27 +237,25 @@ def _fetch_deltas(ranges: Sequence[StreamRange]) -> List[Tuple[int, int, Tuple[i
     return out
 
 
-def predict_baseline(
-    plan: BufferPlan,
-    ranges: Sequence[StreamRange],
-    kernel: StencilKernel,
-    iterations: int,
-    timing: Optional[DRAMTiming] = None,
-) -> PerformancePrediction:
-    """Predict the no-buffering baseline's cycles, traffic and ops."""
-    if iterations < 0:
-        raise ValueError("iterations must be non-negative")
+def baseline_schedule_constants(
+    plan: BufferPlan, ranges: Sequence[StreamRange]
+) -> Tuple[int, int, int, int]:
+    """Instance-invariant constants of the baseline fetch schedule.
+
+    Returns ``(n_points, seq_intra, first_rel, last_rel)``: the per-point
+    access count, the sequential read transitions that repeat identically
+    every instance (within a point's fetches, between consecutive points of a
+    range, and between consecutive ranges), and the base-relative addresses
+    of the first and last read of an instance.  These are pure structural
+    counts — shared between :func:`predict_baseline` and the vectorized
+    engine of :mod:`repro.pipeline.analytic_batch` so the two cannot drift.
+    """
     if not ranges:
         raise ValueError("predict_baseline needs the problem's stream ranges")
-    t = timing or DRAMTiming()
     n = plan.grid.size
     n_points = len(ranges[0].representative.points)
     schedule = _fetch_deltas(ranges)
 
-    # Sequential read transitions that repeat identically every instance:
-    # within a point's fetches, between consecutive points of a range, and
-    # between consecutive ranges.  The carry-in transition of each instance
-    # depends on the ping-pong base and is walked per instance below.
     seq_intra = 0
     for start, length, deltas in schedule:
         within = sum(1 for a, b in zip(deltas, deltas[1:]) if b == a + 1)
@@ -272,6 +270,24 @@ def predict_baseline(
 
     first_rel = schedule[0][0] + (schedule[0][2][0] if schedule[0][2] else 0)
     last_rel = (n - 1) + (schedule[-1][2][-1] if schedule[-1][2] else 0)
+    return n_points, seq_intra, first_rel, last_rel
+
+
+def predict_baseline(
+    plan: BufferPlan,
+    ranges: Sequence[StreamRange],
+    kernel: StencilKernel,
+    iterations: int,
+    timing: Optional[DRAMTiming] = None,
+) -> PerformancePrediction:
+    """Predict the no-buffering baseline's cycles, traffic and ops."""
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    t = timing or DRAMTiming()
+    n = plan.grid.size
+    # The carry-in transition of each instance depends on the ping-pong base
+    # and is walked per instance below; everything else is instance-invariant.
+    n_points, seq_intra, first_rel, last_rel = baseline_schedule_constants(plan, ranges)
 
     read_last: Optional[int] = None
     write_last: Optional[int] = None

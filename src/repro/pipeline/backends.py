@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -128,6 +128,28 @@ class Backend:
         """Produce an :class:`EvaluationResult` (must be overridden)."""
         raise NotImplementedError
 
+    def evaluate_many(
+        self,
+        items: Sequence[Tuple[CompiledDesign, EvaluationRequest]],
+        with_artifacts: bool = True,
+    ) -> List[EvaluationResult]:
+        """Evaluate many (design, request) pairs, in input order.
+
+        The default is the obvious loop over :meth:`evaluate`; backends with
+        a real batch substrate override it (:class:`AnalyticBackend` routes
+        through the vectorized engine of
+        :mod:`repro.pipeline.analytic_batch`).  ``with_artifacts=False``
+        permits skipping heavyweight per-point artifacts that the caller
+        would strip anyway.
+        """
+        results = []
+        for design, request in items:
+            result = self.evaluate(design, request)
+            if not with_artifacts and result.artifacts:
+                result = replace(result, artifacts={})
+            results.append(result)
+        return results
+
 
 # --------------------------------------------------------------------------- #
 # registry
@@ -235,9 +257,34 @@ class ReferenceBackend(Backend):
 
 
 class AnalyticBackend(Backend):
-    """Closed-form performance prediction (no clock, no output grid)."""
+    """Closed-form performance prediction (no clock, no output grid).
+
+    Single evaluations go through the scalar model of
+    :mod:`repro.pipeline.analytic` — the bitwise reference.  Batches go
+    through :attr:`engine`, the process-shared vectorized pricing engine
+    (:class:`repro.pipeline.analytic_batch.AnalyticBatchEngine`), whose
+    bounded knob cache persists across calls; ``REPRO_ANALYTIC_BATCH=0``
+    routes batches back through the scalar loop.
+    """
 
     name = "analytic"
+
+    def __init__(self) -> None:
+        from repro.pipeline.analytic_batch import AnalyticBatchEngine
+
+        #: The shared vectorized pricing engine (bounded signature cache).
+        self.engine = AnalyticBatchEngine()
+
+    def evaluate_many(
+        self,
+        items: Sequence[Tuple[CompiledDesign, EvaluationRequest]],
+        with_artifacts: bool = True,
+    ) -> List[EvaluationResult]:
+        from repro.pipeline.analytic_batch import batching_enabled
+
+        if not batching_enabled():
+            return super().evaluate_many(items, with_artifacts=with_artifacts)
+        return self.engine.price(items, with_artifacts=with_artifacts)
 
     def evaluate(self, design: CompiledDesign, request: EvaluationRequest) -> EvaluationResult:
         from repro.pipeline.analytic import predict_performance
@@ -365,6 +412,8 @@ def batch_evaluate(
     cache: Optional[PlanCache] = plan_cache,
     jobs: int = 1,
     chunksize: Optional[int] = None,
+    engine=None,
+    with_artifacts: bool = True,
     **request_overrides,
 ) -> List[EvaluationResult]:
     """Evaluate many problems with one backend (the sweep batch layer).
@@ -375,6 +424,22 @@ def batch_evaluate(
     Defaults to the ``analytic`` backend: sweeps price the full space with the
     closed-form model and re-simulate only the designs that matter (see
     :func:`repro.dse.explorer.explore_performance`).
+
+    Serial analytic batches take the vectorized fast lane: the whole batch is
+    compiled through :func:`~repro.pipeline.compile.compile_batch` and priced
+    in one :class:`~repro.pipeline.analytic_batch.AnalyticBatchEngine` call —
+    bitwise-equal per point to the scalar loop, results in input order (an
+    asserted engine invariant).  Because the whole batch shares one request,
+    pricing goes through the engine's packed-session cache
+    (:meth:`~repro.pipeline.analytic_batch.AnalyticBatchEngine.price_batch`):
+    re-pricing the same problem list under new request knobs reuses the
+    packed design columns and skips compilation entirely.  ``engine`` selects
+    a specific pricing engine (a :class:`~repro.api.Workbench` session passes
+    its own so packed columns persist across calls); by default the
+    registered backend's shared engine is used.  ``with_artifacts=False``
+    skips the per-point :class:`~repro.pipeline.analytic.PerformancePrediction`
+    artifact — metrics and ``extra`` are unchanged.
+    ``REPRO_ANALYTIC_BATCH=0`` restores the scalar loop.
 
     With ``jobs > 1`` the batch is sharded over a process pool (see
     :mod:`repro.sweep.runners`): each worker compiles with its own warm plan
@@ -387,17 +452,40 @@ def batch_evaluate(
     instance, or ``None`` to bypass caching) keeps the batch on the serial
     path regardless of ``jobs``.
     """
-    if jobs <= 1 or cache is not plan_cache:
-        return [
-            evaluate(p, backend=backend, request=request, cache=cache, **request_overrides)
-            for p in problems
-        ]
-    from repro.sweep.runners import ProcessPoolRunner
-    from repro.sweep.spec import SweepPoint
-
     req = request or EvaluationRequest()
     if request_overrides:
         req = replace(req, **request_overrides)
+    if jobs <= 1 or cache is not plan_cache:
+        from repro.pipeline.analytic_batch import batching_enabled
+
+        backend_obj = get_backend(backend)
+        if (
+            len(problems) > 1
+            # A stand-in or subclass registered as ``analytic`` may override
+            # ``evaluate``; the lane would silently bypass it, so require the
+            # exact class.
+            and type(backend_obj) is AnalyticBackend
+            and batching_enabled()
+        ):
+            pricing = engine if engine is not None else backend_obj.engine
+            results = pricing.price_batch(
+                list(problems), req, cache=cache, with_artifacts=with_artifacts
+            )
+            # The engine's input-order invariant, re-checked at the facade:
+            # result i must answer problem i even after signature regrouping.
+            assert len(results) == len(problems), (
+                "batch pricing results misaligned with input order"
+            )
+            return results
+        results = [evaluate(p, backend=backend, request=req, cache=cache) for p in problems]
+        if not with_artifacts:
+            results = [
+                replace(r, artifacts={}) if r.artifacts else r for r in results
+            ]
+        return results
+    from repro.sweep.runners import ProcessPoolRunner
+    from repro.sweep.spec import SweepPoint
+
     points = []
     for p in problems:
         if isinstance(p, CompiledDesign):

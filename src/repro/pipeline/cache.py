@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 from threading import Lock
-from typing import Callable, Hashable, NamedTuple, Optional, Tuple
+from typing import Callable, Hashable, List, NamedTuple, Optional, Sequence, Tuple
 
 
 class CacheInfo(NamedTuple):
@@ -98,6 +98,54 @@ class PlanCache:
                 self._entries.popitem(last=False)
                 self._evictions += 1
         return design
+
+    def get_or_compile_batch(
+        self,
+        keys: Sequence[Tuple[Hashable, ...]],
+        builds: Sequence[Callable[[], object]],
+    ) -> List[object]:
+        """Resolve many keys at once, compiling each distinct miss exactly once.
+
+        The batch counting contract: a batch of N lookups sharing one
+        uncached key costs **one miss plus N−1 hits** — the first occurrence
+        compiles, every duplicate is answered by that single compilation —
+        instead of the N misses a naive per-key loop would record.  Results
+        come back in input order; like :meth:`get_or_compile`, builds run
+        outside the lock and a concurrent winner's entry is preferred.
+        """
+        if len(keys) != len(builds):
+            raise ValueError("keys and builds must have the same length")
+        results: List[Optional[object]] = [None] * len(keys)
+        pending: "OrderedDict[Tuple[Hashable, ...], List[int]]" = OrderedDict()
+        with self._lock:
+            for index, key in enumerate(keys):
+                if key in pending:
+                    self._hits += 1
+                    pending[key].append(index)
+                    continue
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    results[index] = cached
+                else:
+                    self._misses += 1
+                    pending[key] = [index]
+        for key, indices in pending.items():
+            built = builds[indices[0]]()
+            with self._lock:
+                winner = self._entries.get(key)
+                if winner is not None:
+                    self._entries.move_to_end(key)
+                    built = winner
+                else:
+                    self._entries[key] = built
+                    while len(self._entries) > self.max_entries:
+                        self._entries.popitem(last=False)
+                        self._evictions += 1
+            for index in indices:
+                results[index] = built
+        return results
 
     def peek(self, key: Tuple[Hashable, ...]) -> Optional[object]:
         """Return the cached design without affecting LRU order or counters."""

@@ -112,20 +112,29 @@ class StencilProblem:
         return self.pattern is None or self.pattern.is_contiguous()
 
     def cache_key(self) -> Tuple[Hashable, ...]:
-        """A hashable key identifying everything :func:`compile` depends on."""
-        kernel = self.effective_kernel
-        return (
-            self.grid,
-            self.stencil,
-            self.boundary,
-            self.mode,
-            self.word_bits,
-            self.max_stream_reach,
-            self.max_total_bits,
-            self.register_elements,
-            type(kernel).__name__,
-            repr(kernel),
-        )
+        """A hashable key identifying everything :func:`compile` depends on.
+
+        Memoized on the (frozen) instance: every field the key derives from
+        is immutable, and batched pricing looks the key up once per point per
+        call, where rebuilding ``repr(kernel)`` would dominate the warm path.
+        """
+        key = self.__dict__.get("_cache_key")
+        if key is None:
+            kernel = self.effective_kernel
+            key = (
+                self.grid,
+                self.stencil,
+                self.boundary,
+                self.mode,
+                self.word_bits,
+                self.max_stream_reach,
+                self.max_total_bits,
+                self.register_elements,
+                type(kernel).__name__,
+                repr(kernel),
+            )
+            object.__setattr__(self, "_cache_key", key)
+        return key
 
     def describe(self) -> str:
         """One-line summary used by sweep reports."""

@@ -39,6 +39,15 @@ and ships whole chunks to workers.  Three things make this fast:
 Each record's ``meta`` carries the worker pid and that worker's cumulative
 plan-cache counters, so :class:`~repro.sweep.campaign.CampaignResult` can
 report cache behaviour across the whole pool.
+
+Both runners additionally own the **analytic fast lane**: maximal runs of
+consecutive ``analytic`` points (the common case — the spec expands backends
+innermost) are compiled via :func:`~repro.pipeline.compile.compile_batch`
+and priced in a single vectorized call
+(:mod:`repro.pipeline.analytic_batch`), bitwise-equal per point to the
+scalar path, with faithful per-point events and ``batch_size`` /
+``batch_index`` attribution stamps in ``meta``.  ``REPRO_ANALYTIC_BATCH=0``
+disables the lane; canonical campaign output is byte-identical either way.
 """
 
 from __future__ import annotations
@@ -50,9 +59,10 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.pipeline.backends import get_backend
+from repro.pipeline.backends import AnalyticBackend, get_backend
 from repro.pipeline.cache import CacheInfo, plan_cache
 from repro.pipeline.compile import compile as compile_problem
+from repro.pipeline.compile import compile_batch
 from repro.sweep.events import EventSink, PointCompleted, PointStarted
 from repro.sweep.record import PointRecord
 from repro.sweep.spec import SweepPoint
@@ -139,6 +149,118 @@ def _evaluate_point(
     )
 
 
+# --------------------------------------------------------------------------- #
+# analytic fast lane
+# --------------------------------------------------------------------------- #
+#: Minimum consecutive analytic points for the vectorized lane; single points
+#: stay on the scalar reference path.
+_MIN_BATCH = 2
+
+
+def _fast_lane_ready() -> bool:
+    """Whether batched pricing may replace the scalar loop in this process.
+
+    Requires the ``analytic`` registry slot to hold exactly
+    :class:`AnalyticBackend` — not a subclass or stand-in; either may
+    override ``evaluate``, which the lane would silently bypass — and the
+    ``REPRO_ANALYTIC_BATCH`` switch to be on.
+    """
+    from repro.pipeline.analytic_batch import batching_enabled
+
+    if not batching_enabled():
+        return False
+    try:
+        return type(get_backend("analytic")) is AnalyticBackend
+    except KeyError:
+        return False
+
+
+def _split_spans(points: Sequence[SweepPoint]) -> List[Tuple[str, List[SweepPoint]]]:
+    """Cut a point list into ``('batch', run)`` / ``('scalar', run)`` spans.
+
+    Maximal runs of at least :data:`_MIN_BATCH` consecutive analytic points
+    become batch spans — the spec expands backends innermost, so analytic
+    campaigns arrive as one long run per chunk; everything else (other
+    backends, lone analytic points) stays on the per-point reference path.
+    """
+    points = list(points)
+    if not points or not _fast_lane_ready():
+        return [("scalar", points)] if points else []
+    spans: List[Tuple[str, List[SweepPoint]]] = []
+    run: List[SweepPoint] = []
+    run_analytic = False
+
+    def close() -> None:
+        if run:
+            kind = "batch" if run_analytic and len(run) >= _MIN_BATCH else "scalar"
+            spans.append((kind, list(run)))
+            run.clear()
+
+    for point in points:
+        analytic = point.backend == "analytic"
+        if run and analytic != run_analytic:
+            close()
+        run_analytic = analytic
+        run.append(point)
+    close()
+    return spans
+
+
+def _price_analytic_span(
+    points: Sequence[SweepPoint],
+    keep_results: bool,
+    cache_baseline: Optional[CacheInfo],
+    strip_artifacts: bool,
+    run_index: int,
+    stamps: Sequence[Dict[str, Any]],
+) -> List[PointRecord]:
+    """Price one contiguous analytic span in a single vectorized call.
+
+    Compilation goes through :func:`compile_batch` (one plan-cache miss plus
+    N−1 hits for a shared design), pricing through the registered backend's
+    :meth:`~repro.pipeline.backends.Backend.evaluate_many`.  Each record gets
+    the caller's per-point begin stamp plus batch attribution
+    (``batch_size``/``batch_index``) in ``meta``; timing meta carries each
+    point's share of the batch wall clock, keeping per-point throughput
+    readings comparable with the scalar path.
+    """
+    t0 = time.perf_counter()
+    designs = compile_batch([p.problem for p in points])
+    t1 = time.perf_counter()
+    results = get_backend("analytic").evaluate_many(
+        [(design, point.request) for design, point in zip(designs, points)],
+        with_artifacts=keep_results and not strip_artifacts,
+    )
+    t2 = time.perf_counter()
+    eval_share = (t2 - t1) / len(points)
+    wall_share = (t2 - t0) / len(points)
+    finished_ts = time.time()
+    cache_counters = _cache_meta(cache_baseline)
+    records = []
+    for index, (point, result) in enumerate(zip(points, results)):
+        meta = {
+            "wall_seconds": wall_share,
+            "eval_seconds": eval_share,
+            "run": run_index,
+            **stamps[index],
+            "finished_ts": finished_ts,
+            "batch_size": len(points),
+            "batch_index": index,
+        }
+        meta.update(cache_counters)
+        records.append(
+            PointRecord.from_result(
+                point.key(),
+                point.display_label,
+                result,
+                rung=point.rung,
+                meta=meta,
+                keep_result=keep_results,
+            )
+        )
+    return records
+
+
 #: First-use snapshot of this process's plan-cache counters.  A forked worker
 #: inherits the parent's counters (and possibly a warm cache); subtracting
 #: the snapshot makes reported stats mean "work done by this worker".
@@ -156,19 +278,35 @@ def _worker_cache_baseline() -> CacheInfo:
 
 
 def _evaluate_chunk(args: Tuple[Sequence[SweepPoint], bool, int]) -> List[PointRecord]:
-    """Worker entry point: evaluate one contiguous shard of the sweep."""
+    """Worker entry point: evaluate one contiguous shard of the sweep.
+
+    Analytic runs inside the chunk take the vectorized fast lane — the whole
+    span is priced in one call — while every point still gets its own begin
+    stamp, so the parent's replayed ``PointStarted`` events stay faithful.
+    """
     points, keep_results, run_index = args
     baseline = _worker_cache_baseline()
-    return [
-        _evaluate_point(
-            p,
-            keep_result=keep_results,
-            cache_baseline=baseline,
-            strip_artifacts=True,
-            run_index=run_index,
-        )
-        for p in points
-    ]
+    records: List[PointRecord] = []
+    for kind, span in _split_spans(points):
+        if kind == "batch":
+            stamps = [_begin_stamp() for _ in span]
+            records.extend(
+                _price_analytic_span(
+                    span, keep_results, baseline, True, run_index, stamps
+                )
+            )
+        else:
+            records.extend(
+                _evaluate_point(
+                    p,
+                    keep_result=keep_results,
+                    cache_baseline=baseline,
+                    strip_artifacts=True,
+                    run_index=run_index,
+                )
+                for p in span
+            )
+    return records
 
 
 # --------------------------------------------------------------------------- #
@@ -322,24 +460,46 @@ def _run_in_process(
     run_index: int,
     event_sink: Optional[EventSink] = None,
 ) -> List[PointRecord]:
-    """The shared in-process loop of SerialRunner and the pool's 1-job fallback."""
+    """The shared in-process loop of SerialRunner and the pool's 1-job fallback.
+
+    Analytic spans are priced through the vectorized fast lane: every point
+    in the span is stamped and its ``PointStarted`` published *before* the
+    single pricing call (they do all begin there), completions follow
+    per point in input order once the span lands.
+    """
     baseline = plan_cache.cache_info()
     records = []
-    for point in points:
-        stamp = _begin_stamp()
-        _emit_started(event_sink, point, stamp)
-        record = _evaluate_point(
-            point,
-            keep_result=keep_results,
-            cache_baseline=baseline,
-            strip_artifacts=strip_artifacts,
-            run_index=run_index,
-            stamp=stamp,
-        )
-        records.append(record)
-        if on_result is not None:
-            on_result(record)
-        _emit_completed(event_sink, record)
+    for kind, span in _split_spans(points):
+        if kind == "batch":
+            stamps = []
+            for point in span:
+                stamp = _begin_stamp()
+                stamps.append(stamp)
+                _emit_started(event_sink, point, stamp)
+            span_records = _price_analytic_span(
+                span, keep_results, baseline, strip_artifacts, run_index, stamps
+            )
+            for record in span_records:
+                records.append(record)
+                if on_result is not None:
+                    on_result(record)
+                _emit_completed(event_sink, record)
+            continue
+        for point in span:
+            stamp = _begin_stamp()
+            _emit_started(event_sink, point, stamp)
+            record = _evaluate_point(
+                point,
+                keep_result=keep_results,
+                cache_baseline=baseline,
+                strip_artifacts=strip_artifacts,
+                run_index=run_index,
+                stamp=stamp,
+            )
+            records.append(record)
+            if on_result is not None:
+                on_result(record)
+            _emit_completed(event_sink, record)
     return records
 
 

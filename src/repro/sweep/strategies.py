@@ -17,6 +17,12 @@ Built-ins:
   backend, rank, and re-run only the top ``1/eta`` survivors with the
   cycle-accurate simulator: the same fast-then-honest idiom as
   :func:`repro.dse.explore_performance`, expressed as a campaign.
+
+Strategies hand whole generations to ``run`` in one call, which is what lets
+the runners' analytic fast lane (:mod:`repro.sweep.runners`) price an entire
+analytic stage — :class:`RandomSearch`'s sample, :class:`SuccessiveHalving`'s
+rung-0 screen — in a handful of vectorized calls instead of one model
+evaluation per point.
 """
 
 from __future__ import annotations
@@ -94,6 +100,9 @@ class SuccessiveHalving(SearchStrategy):
     the best ``ceil(n / eta)`` points by ``metric`` then graduate to rung 1
     on ``verify_backend``.  Records of both rungs are returned — rung-1
     records carry the trusted numbers, rung-0 records document the pricing.
+    With the default analytic pricing backend the whole rung-0 screen rides
+    the runners' vectorized fast lane, so the screen's cost is a few NumPy
+    folds rather than one closed-form evaluation per candidate.
     """
 
     name = "halving"
