@@ -1,0 +1,244 @@
+"""Benchmark for the evaluation service (``repro.serve``).
+
+The claim tracked here: a micro-batched server answering **1000 mixed
+concurrent requests** (duplicates and unique points interleaved, several
+pipelining connections) sustains at least **5x** the throughput of the
+per-request scalar loop — a client issuing the same mix one request at a
+time against a ``scalar=True`` server (one
+:func:`~repro.pipeline.backends.evaluate` call per request, no batching,
+no memo) — while every response stays bitwise-equal to the scalar analytic
+reference.
+
+Both sides of the comparison pay the same TCP/JSON/asyncio overhead, so the
+ratio isolates what the serving layer adds: concurrency admission plus
+signature-bucketed batches into :meth:`AnalyticBatchEngine.price_batch`
+plus the content-keyed response memo.  A third configuration — the scalar
+server under the same *concurrent* load — is recorded too; it separates
+what pipelining alone buys from what batching and the memo add on top.
+Latency percentiles and the batch-size histogram come straight from the
+server's own ``/stats``.
+
+Run standalone with ``python benchmarks/bench_serve.py``; the numbers land
+in ``BENCH_serve.json`` via ``--benchmark-json`` and in ``extra_info``.
+Set ``REPRO_BENCH_SMOKE=1`` (CI does) to shrink the load and skip the
+speedup assertion — smoke runs check the plumbing, not the performance of a
+shared runner.
+"""
+
+import asyncio
+import json
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_serve.py
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (_ROOT, os.path.join(_ROOT, "src")):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
+from benchmarks.conftest import run_once
+from repro.pipeline.backends import evaluate
+from repro.serve import AsyncServeClient, EvaluationServer
+from repro.serve.protocol import make_point, parse_point, result_payload
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Load shape: the acceptance claim is stated over 1000 mixed requests.
+N_REQUESTS = 150 if SMOKE else 1000
+N_UNIQUE = 30 if SMOKE else 200
+CONNECTIONS = 4
+CONCURRENCY = 64
+
+
+def point_mix(count, unique):
+    """``count`` specs cycling over ``unique`` distinct grids — duplicates
+    interleaved with fresh points, the mix a sweep front-end produces."""
+    specs = []
+    for index in range(count):
+        slot = index % unique
+        rows = 9 + slot % 40
+        cols = 9 + (slot // 40) % 25
+        specs.append(make_point((rows, cols), iterations=5))
+    return specs
+
+
+def canonical(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def scalar_references(specs):
+    """Canonical scalar-reference bytes, one entry per distinct spec."""
+    references = {}
+    for spec in specs:
+        key = canonical(spec)
+        if key not in references:
+            problem, request = parse_point(spec)
+            references[key] = canonical(
+                result_payload(evaluate(problem, backend="analytic", request=request))
+            )
+    return references
+
+
+def serve_load(specs, *, scalar):
+    """Start a server, fire the whole mix concurrently, return
+    ``(payloads, elapsed_seconds, stats)``.  Only the gather is timed —
+    connection setup and the warm-up ping stay outside the clock."""
+
+    async def main():
+        server = EvaluationServer(scalar=scalar)
+        host, port = await server.start()
+        clients = []
+        try:
+            for _ in range(CONNECTIONS):
+                clients.append(await AsyncServeClient(host, port).connect())
+            await clients[0].ping()
+            semaphore = asyncio.Semaphore(CONCURRENCY)
+
+            async def one(index, spec):
+                async with semaphore:
+                    return await clients[index % CONNECTIONS].evaluate_retry(spec)
+
+            t0 = time.perf_counter()
+            payloads = await asyncio.gather(
+                *(one(index, spec) for index, spec in enumerate(specs))
+            )
+            elapsed = time.perf_counter() - t0
+            stats = await clients[0].stats()
+        finally:
+            for client in clients:
+                await client.close()
+            await server.stop()
+        return payloads, elapsed, stats
+
+    return asyncio.run(main())
+
+
+def serve_serial(specs):
+    """The per-request scalar loop: one connection, one request at a time,
+    against a ``scalar=True`` server.  Returns ``(payloads, elapsed)``."""
+
+    async def main():
+        server = EvaluationServer(scalar=True)
+        host, port = await server.start()
+        client = await AsyncServeClient(host, port).connect()
+        try:
+            await client.ping()
+            t0 = time.perf_counter()
+            payloads = [await client.evaluate(spec) for spec in specs]
+            elapsed = time.perf_counter() - t0
+        finally:
+            await client.close()
+            await server.stop()
+        return payloads, elapsed
+
+    return asyncio.run(main())
+
+
+class TestServedThroughput:
+    def test_bench_batched_vs_scalar_serving(self, benchmark):
+        """The acceptance claim: >=5x served throughput from micro-batching."""
+        specs = point_mix(N_REQUESTS, N_UNIQUE)
+        references = scalar_references(specs)
+        cpus = (
+            len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else os.cpu_count()
+        )
+
+        batched_payloads, batched_seconds, batched_stats = run_once(
+            benchmark, serve_load, specs, scalar=False
+        )
+        scalar_payloads, scalar_seconds, _ = serve_load(specs, scalar=True)
+        serial_payloads, serial_seconds = serve_serial(specs)
+
+        # Every serving mode must be bitwise-equal to the scalar reference
+        # before any throughput number is meaningful.
+        for payloads in (batched_payloads, scalar_payloads, serial_payloads):
+            for spec, payload in zip(specs, payloads):
+                assert canonical(payload) == references[canonical(spec)]
+
+        batched_rps = len(specs) / batched_seconds
+        scalar_rps = len(specs) / scalar_seconds
+        serial_rps = len(specs) / serial_seconds
+        speedup = serial_seconds / batched_seconds
+        concurrent_speedup = scalar_seconds / batched_seconds
+        latency = batched_stats["latency"]
+        batches = batched_stats["batches"]
+        memo = batched_stats["memo"] or {}
+        memo_lookups = memo.get("hits", 0) + memo.get("misses", 0)
+        contended = cpus is None or cpus < 2
+        benchmark.extra_info.update(
+            requests=len(specs),
+            unique_points=N_UNIQUE,
+            connections=CONNECTIONS,
+            concurrency=CONCURRENCY,
+            smoke=SMOKE,
+            cpus=cpus,
+            contended=contended,
+            batched_rps=round(batched_rps),
+            scalar_concurrent_rps=round(scalar_rps),
+            scalar_serial_rps=round(serial_rps),
+            speedup_vs_serial_scalar=round(speedup, 2),
+            speedup_vs_concurrent_scalar=round(concurrent_speedup, 2),
+            p50_ms=latency["p50_ms"],
+            p99_ms=latency["p99_ms"],
+            batch_flushes=batches["flushes"],
+            batch_mean_size=batches["mean_size"],
+            batch_histogram=batches["histogram"],
+            memo_hit_rate=round(memo.get("hits", 0) / memo_lookups, 4)
+            if memo_lookups
+            else 0.0,
+            engine_hit_rates=batched_stats["engine_hit_rates"],
+        )
+        print()
+        print(
+            f"serve: {len(specs)} requests ({N_UNIQUE} unique), "
+            f"{CONNECTIONS} connections x {CONCURRENCY} in flight, "
+            f"{cpus} core(s){' [contended]' if contended else ''}"
+        )
+        print(
+            f"scalar loop (serial)    : {serial_seconds * 1e3:8.1f} ms "
+            f"({serial_rps:9,.0f} req/s)"
+        )
+        print(
+            f"scalar server (pipelined): {scalar_seconds * 1e3:7.1f} ms "
+            f"({scalar_rps:9,.0f} req/s)"
+        )
+        print(
+            f"batched server          : {batched_seconds * 1e3:8.1f} ms "
+            f"({batched_rps:9,.0f} req/s, {speedup:.1f}x vs the scalar loop, "
+            f"{concurrent_speedup:.1f}x vs the pipelined scalar server)"
+        )
+        print(
+            f"latency p50/p99: {latency['p50_ms']:.2f}/{latency['p99_ms']:.2f} ms, "
+            f"mean batch {batches['mean_size']}, "
+            f"memo hits {memo.get('hits', 0)}/{memo_lookups}"
+        )
+        if SMOKE:
+            print(f"smoke run ({len(specs)} requests): speedup recorded, not asserted")
+        elif contended:
+            print(f"contended host: {speedup:.1f}x recorded, not asserted")
+        else:
+            assert speedup >= 5, (
+                f"micro-batched serving must be >=5x the per-request scalar "
+                f"loop on an uncontended host, measured {speedup:.1f}x"
+            )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    import pytest
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--benchmark-json", default="BENCH_serve.json",
+        help="where to write the benchmark record (default: BENCH_serve.json)",
+    )
+    args = parser.parse_args()
+    sys.exit(
+        pytest.main(
+            [__file__, "--benchmark-only", "-s", f"--benchmark-json={args.benchmark_json}"]
+        )
+    )

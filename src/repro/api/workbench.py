@@ -299,6 +299,8 @@ class Workbench:
         self.chunksize = chunksize
         self.observers: List[Any] = list(observers)
         self._analytic_engine: Optional[Any] = None
+        self._async_batcher: Optional[Any] = None
+        self._async_batcher_loop: Optional[Any] = None
 
     @property
     def analytic_engine(self):
@@ -383,6 +385,56 @@ class Workbench:
             cache=self.cache,
             **request_overrides,
         )
+
+    async def evaluate_async(
+        self,
+        problem,
+        backend: Optional[str] = None,
+        request: Optional[EvaluationRequest] = None,
+        **request_overrides,
+    ) -> EvaluationResult:
+        """Asynchronously evaluate one problem through the session.
+
+        Analytic evaluations are routed through a per-session adaptive
+        micro-batcher (:class:`repro.serve.batcher.AdaptiveBatcher`) sharing
+        the session's :attr:`analytic_engine`: concurrent ``evaluate_async``
+        callers on the same event loop are priced together in one vectorized
+        engine call, so ``asyncio.gather`` over a thousand points costs a
+        handful of batched folds, not a thousand scalar walks — the same
+        substrate the TCP evaluation service (:mod:`repro.serve`) builds on.
+        ``REPRO_ANALYTIC_BATCH=0`` falls back to the scalar reference path
+        per flushed bucket, byte-identically.  Non-analytic backends (a
+        simulation can run for seconds) are handed to the default executor
+        so the event loop stays responsive.
+        """
+        import asyncio
+
+        backend = backend or self.default_backend
+        req = request or EvaluationRequest()
+        if request_overrides:
+            req = replace(req, **request_overrides)
+        loop = asyncio.get_running_loop()
+        if backend != "analytic":
+            return await loop.run_in_executor(
+                None, lambda: self.evaluate(problem, backend=backend, request=req)
+            )
+        if self._async_batcher is None or self._async_batcher_loop is not loop:
+            from repro.serve.batcher import AdaptiveBatcher
+
+            self._async_batcher = AdaptiveBatcher(self._price_async_bucket)
+            self._async_batcher_loop = loop
+        return await self._async_batcher.submit(problem, req)
+
+    def _price_async_bucket(self, problems, request):
+        """Flush one micro-batch through the session's engine (or scalar)."""
+        from repro.pipeline.analytic_batch import batching_enabled
+
+        if batching_enabled():
+            return self.analytic_engine.price_batch(problems, request, cache=self.cache)
+        return [
+            _evaluate(p, backend="analytic", request=request, cache=self.cache)
+            for p in problems
+        ]
 
     def evaluate_batch(
         self,
@@ -499,3 +551,13 @@ class Workbench:
         """Counters of the session's plan cache."""
         cache = self.cache if self.cache is not None else plan_cache
         return cache.cache_info()
+
+    def analytic_cache_info(self):
+        """Counters of the session's vectorized pricing engine.
+
+        An :class:`repro.pipeline.analytic_batch.EngineCacheInfo`: the knob
+        cache (first four fields, :class:`CacheInfo`-shaped) plus the
+        packed-session LRU and fold-memo counters the evaluation service's
+        ``/stats`` verb reports.
+        """
+        return self.analytic_engine.cache_info()

@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
+from threading import Lock
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
@@ -71,7 +72,7 @@ from repro.pipeline.analytic import (
     baseline_schedule_constants,
 )
 from repro.pipeline.backends import EvaluationRequest, EvaluationResult
-from repro.pipeline.cache import CacheInfo, PlanCache, plan_cache
+from repro.pipeline.cache import PlanCache, plan_cache
 from repro.pipeline.compile import CompiledDesign
 
 #: One batch item: an already-compiled design and the request to price it on.
@@ -568,6 +569,42 @@ def _assemble_baseline(
         out[index] = result
 
 
+class EngineCacheInfo(NamedTuple):
+    """Counters of an :class:`AnalyticBatchEngine`'s three cache layers.
+
+    The first four fields mirror :class:`~repro.pipeline.cache.CacheInfo`
+    exactly (they are the knob cache's counters, one entry per distinct
+    design/system), so existing consumers of the engine's ``cache_info()``
+    keep reading the same numbers; the remaining fields expose the
+    packed-session LRU and the per-session fold memo, which is what a
+    long-running serving layer watches (`/stats` surfaces this whole tuple).
+    """
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+    session_hits: int
+    session_misses: int
+    session_evictions: int
+    session_maxsize: int
+    session_currsize: int
+    fold_hits: int
+    fold_misses: int
+
+    @property
+    def session_hit_rate(self) -> float:
+        """Fraction of ``price_batch`` calls answered by a packed session."""
+        lookups = self.session_hits + self.session_misses
+        return self.session_hits / lookups if lookups else 0.0
+
+    @property
+    def fold_hit_rate(self) -> float:
+        """Fraction of session folds answered by the fold memo."""
+        lookups = self.fold_hits + self.fold_misses
+        return self.fold_hits / lookups if lookups else 0.0
+
+
 class _SessionEntry:
     """One packed batch: strong refs pin the identity keys, columns persist."""
 
@@ -600,15 +637,52 @@ class AnalyticBatchEngine:
         self._knobs = PlanCache(max_entries=max_entries)
         self._sessions: "OrderedDict[tuple, _SessionEntry]" = OrderedDict()
         self._max_sessions = max_sessions
+        # One engine may be shared by every connection of the evaluation
+        # service (repro.serve), so the identity-keyed session LRU and the
+        # per-session fold memos are guarded like PlanCache guards its
+        # entries.  Folds and packing run outside the lock (pure functions);
+        # when two threads race, the loser adopts the winner's entry.
+        self._lock = Lock()
+        self._session_hits = 0
+        self._session_misses = 0
+        self._session_evictions = 0
+        self._fold_hits = 0
+        self._fold_misses = 0
 
-    def cache_info(self) -> CacheInfo:
-        """Counters of the knob cache (one entry per distinct design/system)."""
-        return self._knobs.cache_info()
+    def cache_info(self) -> EngineCacheInfo:
+        """Counters of every cache layer the engine owns.
+
+        The first four fields are the knob cache's
+        :class:`~repro.pipeline.cache.CacheInfo` (one entry per distinct
+        design/system), unchanged from earlier releases; the session and
+        fold fields track the packed-session LRU behind :meth:`price_batch`.
+        """
+        knobs = self._knobs.cache_info()
+        with self._lock:
+            return EngineCacheInfo(
+                hits=knobs.hits,
+                misses=knobs.misses,
+                maxsize=knobs.maxsize,
+                currsize=knobs.currsize,
+                session_hits=self._session_hits,
+                session_misses=self._session_misses,
+                session_evictions=self._session_evictions,
+                session_maxsize=self._max_sessions,
+                session_currsize=len(self._sessions),
+                fold_hits=self._fold_hits,
+                fold_misses=self._fold_misses,
+            )
 
     def clear(self) -> None:
         """Drop packed knobs and sessions (benchmarks measuring cold packs)."""
         self._knobs.clear()
-        self._sessions.clear()
+        with self._lock:
+            self._sessions.clear()
+            self._session_hits = 0
+            self._session_misses = 0
+            self._session_evictions = 0
+            self._fold_hits = 0
+            self._fold_misses = 0
 
     # ------------------------------------------------------------------ #
     def price(
@@ -624,6 +698,10 @@ class AnalyticBatchEngine:
         skipped (runners that strip artifacts anyway need not build them).
         """
         items = list(items)
+        if not items:
+            # An empty batch has nothing to group; building zero-length
+            # packed columns would only exercise NumPy edge cases for free.
+            return []
         out: List[Optional[EvaluationResult]] = [None] * len(items)
         groups: Dict[tuple, List[_Row]] = {}
         for index, (design, request) in enumerate(items):
@@ -693,6 +771,8 @@ class AnalyticBatchEngine:
         too: every call recompiles, exactly like the scalar path.
         """
         problems = list(problems)
+        if not problems:
+            return []
         if cache is None:
             from repro.pipeline.compile import compile_batch
 
@@ -700,23 +780,36 @@ class AnalyticBatchEngine:
             return self.price([(d, request) for d in designs], with_artifacts)
 
         key = (id(cache), tuple(map(id, problems)))
-        entry = self._sessions.get(key)
+        with self._lock:
+            entry = self._sessions.get(key)
+            if entry is not None:
+                self._sessions.move_to_end(key)
+                self._session_hits += 1
         if entry is None:
             from repro.pipeline.compile import compile_batch
 
             designs = compile_batch(problems, cache=cache)
-            entry = _SessionEntry(problems, cache, designs)
-            self._sessions[key] = entry
-            while len(self._sessions) > self._max_sessions:
-                self._sessions.popitem(last=False)
-        else:
-            self._sessions.move_to_end(key)
+            with self._lock:
+                entry = self._sessions.get(key)
+                if entry is not None:
+                    # A concurrent caller packed the same list first.
+                    self._sessions.move_to_end(key)
+                    self._session_hits += 1
+                else:
+                    self._session_misses += 1
+                    entry = _SessionEntry(problems, cache, designs)
+                    self._sessions[key] = entry
+                    while len(self._sessions) > self._max_sessions:
+                        self._sessions.popitem(last=False)
+                        self._session_evictions += 1
 
         system = request.system
-        groups = entry.packed.get(system)
+        with self._lock:
+            groups = entry.packed.get(system)
         if groups is None:
             groups = self._pack_session(entry.designs, system)
-            entry.packed[system] = groups
+            with self._lock:
+                groups = entry.packed.setdefault(system, groups)
 
         m = len(problems)
         timing = request.dram_timing or DRAMTiming()
@@ -733,7 +826,13 @@ class AnalyticBatchEngine:
             timing.read_latency,
             None if override is None else (override.latency, override.ops_per_point),
         )
-        folded = entry.folded.get(fold_key)
+        with self._lock:
+            folded = entry.folded.get(fold_key)
+            if folded is not None:
+                entry.folded.move_to_end(fold_key)
+                self._fold_hits += 1
+            else:
+                self._fold_misses += 1
         if folded is None:
             folded = []
             for cols in groups:
@@ -759,11 +858,14 @@ class AnalyticBatchEngine:
                     folded.append(_lists_smache(cols, _fold_smache(cols, req_cols)))
                 else:
                     folded.append(_lists_baseline(cols, _fold_baseline(cols, req_cols)))
-            entry.folded[fold_key] = folded
-            while len(entry.folded) > _MAX_FOLDS_PER_SESSION:
-                entry.folded.popitem(last=False)
-        else:
-            entry.folded.move_to_end(fold_key)
+            with self._lock:
+                existing = entry.folded.get(fold_key)
+                if existing is not None:
+                    folded = existing
+                else:
+                    entry.folded[fold_key] = folded
+                    while len(entry.folded) > _MAX_FOLDS_PER_SESSION:
+                        entry.folded.popitem(last=False)
 
         out: List[Optional[EvaluationResult]] = [None] * m
         assemble = _assemble_smache if system == "smache" else _assemble_baseline

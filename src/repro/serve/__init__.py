@@ -1,0 +1,62 @@
+"""An always-on evaluation service over the vectorized analytic engine.
+
+``repro.serve`` turns the batch-only speed of
+:class:`~repro.pipeline.analytic_batch.AnalyticBatchEngine` into low-latency
+interactive throughput: concurrent single-point requests are micro-batched
+into engine calls (:mod:`repro.serve.batcher`), identical repeats are
+answered from a content-keyed memo (:mod:`repro.serve.memo`), admission is
+bounded with backpressure, and everything is reachable over a stdlib-only
+TCP/JSON-lines protocol (:mod:`repro.serve.protocol`) with blocking and
+asyncio clients (:mod:`repro.serve.client`).
+
+Quickstart::
+
+    python -m repro.serve serve --port 7571          # terminal 1
+    python -m repro.serve bench-client --port 7571   # terminal 2
+
+or in-process::
+
+    from repro.api import Workbench
+    result = await Workbench().evaluate_async(problem, iterations=5)
+"""
+
+from repro.serve.batcher import AdaptiveBatcher, request_signature
+from repro.serve.client import AsyncServeClient, Overloaded, ServeClient, ServeError
+from repro.serve.memo import ResponseMemo
+from repro.serve.metrics import LatencyReservoir, ServerMetrics
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    make_point,
+    parse_point,
+    point_key,
+    result_payload,
+)
+from repro.serve.server import (
+    EvaluationServer,
+    EvaluationService,
+    OverloadedError,
+    run_server,
+)
+
+__all__ = [
+    "AdaptiveBatcher",
+    "AsyncServeClient",
+    "EvaluationServer",
+    "EvaluationService",
+    "LatencyReservoir",
+    "Overloaded",
+    "OverloadedError",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ResponseMemo",
+    "ServeClient",
+    "ServeError",
+    "ServerMetrics",
+    "make_point",
+    "parse_point",
+    "point_key",
+    "request_signature",
+    "result_payload",
+    "run_server",
+]

@@ -1,0 +1,234 @@
+"""Clients for the evaluation service: blocking and asyncio, stdlib only.
+
+:class:`ServeClient` is the simple synchronous API — one request in flight,
+socket + buffered reads, context-managed::
+
+    with ServeClient("127.0.0.1", 7571) as client:
+        result = client.evaluate({"grid": [24, 24], "iterations": 5})
+        print(result["cycles"], client.stats()["throughput_rps"])
+
+:class:`AsyncServeClient` pipelines: requests are written immediately with
+monotonically increasing ids, a reader task matches responses back to their
+futures, so hundreds of evaluations can be in flight on one connection —
+which is what lets the server's micro-batcher do its job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from repro.serve.protocol import ProtocolError, decode_line, encode
+
+
+class ServeError(RuntimeError):
+    """The server answered ``ok: false`` (and it wasn't an overload)."""
+
+
+class Overloaded(ServeError):
+    """The server rejected the request at admission; retry after the hint."""
+
+    def __init__(self, retry_after_ms: int) -> None:
+        super().__init__(f"server overloaded; retry after {retry_after_ms} ms")
+        self.retry_after_ms = retry_after_ms
+
+
+def _raise_for(response: Dict[str, Any]) -> Dict[str, Any]:
+    if response.get("ok"):
+        return response
+    if response.get("error") == "overloaded":
+        raise Overloaded(int(response.get("retry_after_ms", 1)))
+    raise ServeError(str(response.get("error", "unknown server error")))
+
+
+class ServeClient:
+    """Blocking JSON-lines client (one request outstanding at a time)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7571, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    def connect(self) -> "ServeClient":
+        if self._sock is None:
+            self._sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+            self._file = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def request(self, verb: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and block for its response."""
+        self.connect()
+        assert self._sock is not None and self._file is not None
+        self._next_id += 1
+        message = {"id": self._next_id, "verb": verb, **fields}
+        self._sock.sendall(encode(message))
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_line(line)
+        if response.get("id") != message["id"]:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match request {message['id']}"
+            )
+        return response
+
+    def evaluate(self, point: Dict[str, Any]) -> Dict[str, Any]:
+        """Evaluate one point spec; returns the result payload."""
+        return _raise_for(self.request("evaluate", point=point))["result"]
+
+    def evaluate_retry(
+        self, point: Dict[str, Any], max_attempts: int = 8
+    ) -> Dict[str, Any]:
+        """Evaluate with overload-aware retry (sleeps the server's hint)."""
+        for attempt in range(max_attempts):
+            try:
+                return self.evaluate(point)
+            except Overloaded as exc:
+                if attempt + 1 == max_attempts:
+                    raise
+                time.sleep(exc.retry_after_ms / 1000.0)
+        raise AssertionError("unreachable")
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's ``/stats`` snapshot."""
+        return _raise_for(self.request("stats"))["result"]
+
+    def ping(self) -> bool:
+        """True when the server answers (and speaks our protocol)."""
+        return _raise_for(self.request("ping"))["result"] == "pong"
+
+
+class AsyncServeClient:
+    """Pipelining asyncio client: many requests in flight on one connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7571) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._pending: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._next_id = 0
+        self._write_lock: Optional[asyncio.Lock] = None
+
+    # ------------------------------------------------------------------ #
+    async def connect(self) -> "AsyncServeClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+            self._write_lock = asyncio.Lock()
+            self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._writer = None
+            self._reader = None
+        self._fail_pending(ConnectionError("client closed"))
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                response = decode_line(line.strip())
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — fan out to every waiter
+            self._fail_pending(exc)
+
+    async def request(self, verb: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request; awaits its (id-matched) response."""
+        await self.connect()
+        assert self._writer is not None and self._write_lock is not None
+        self._next_id += 1
+        request_id = self._next_id
+        message = {"id": request_id, "verb": verb, **fields}
+        future: "asyncio.Future[Dict[str, Any]]" = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._write_lock:
+                self._writer.write(encode(message))
+                await self._writer.drain()
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def evaluate(self, point: Dict[str, Any]) -> Dict[str, Any]:
+        """Evaluate one point spec; returns the result payload."""
+        return _raise_for(await self.request("evaluate", point=point))["result"]
+
+    async def evaluate_retry(
+        self, point: Dict[str, Any], max_attempts: int = 8
+    ) -> Dict[str, Any]:
+        """Evaluate with overload-aware retry (sleeps the server's hint)."""
+        for attempt in range(max_attempts):
+            try:
+                return await self.evaluate(point)
+            except Overloaded as exc:
+                if attempt + 1 == max_attempts:
+                    raise
+                await asyncio.sleep(exc.retry_after_ms / 1000.0)
+        raise AssertionError("unreachable")
+
+    async def evaluate_full(self, point: Dict[str, Any]) -> Dict[str, Any]:
+        """Evaluate, returning the whole response envelope (``served_by`` etc.)."""
+        return _raise_for(await self.request("evaluate", point=point))
+
+    async def stats(self) -> Dict[str, Any]:
+        """The server's ``/stats`` snapshot."""
+        return _raise_for(await self.request("stats"))["result"]
+
+    async def ping(self) -> bool:
+        """True when the server answers (and speaks our protocol)."""
+        return _raise_for(await self.request("ping"))["result"] == "pong"

@@ -1,0 +1,82 @@
+"""Content-keyed response memo: identical repeat queries skip the engine.
+
+A bounded, lock-protected LRU from the stable point key
+(:func:`repro.serve.protocol.point_key` — the same content hash the sweep
+layer's checkpoints use) to the already-built response payload.  Interactive
+traffic is heavy on repeats — dashboards refreshing the same design point,
+many users asking about the same corner of a space — and a memo hit costs a
+dict lookup instead of a trip through batching and the pricing engine.
+
+Payloads are treated as immutable once stored; the service hands the stored
+dict straight to the encoder and never mutates it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+from typing import Any, Dict, Optional
+
+from repro.pipeline.cache import CacheInfo
+
+
+class ResponseMemo:
+    """Bounded LRU of response payloads keyed by stable point key."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The memoized payload for ``key``, refreshing LRU order, or None."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key``, evicting the LRU tail if full."""
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped to stay within ``max_entries``."""
+        with self._lock:
+            return self._evictions
+
+    def cache_info(self) -> CacheInfo:
+        """``functools``-style counters, same shape as the plan cache's."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                maxsize=self.max_entries,
+                currsize=len(self._entries),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

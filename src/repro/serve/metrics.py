@@ -1,0 +1,123 @@
+"""Serving telemetry: throughput, latency percentiles, batch-size histogram.
+
+Everything the ``/stats`` verb reports lives here.  Counters are plain ints
+behind a lock (the service is touched from the event loop and, for
+in-process callers, arbitrary threads), latencies go into a bounded
+reservoir of the most recent observations (percentiles of *recent* traffic,
+not of the whole uptime), and flush sizes land in an exact histogram —
+batch-size distribution is the single most interpretable signal of whether
+micro-batching is doing anything.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from threading import Lock
+from typing import Any, Dict, Optional
+
+
+def percentile(sorted_values, fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class LatencyReservoir:
+    """The last ``maxlen`` request latencies, queryable for percentiles."""
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._window: "deque[float]" = deque(maxlen=maxlen)
+        self._lock = Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._window.append(seconds)
+
+    def snapshot_ms(self) -> Dict[str, float]:
+        """p50/p99/max over the retained window, in milliseconds."""
+        with self._lock:
+            values = sorted(self._window)
+        return {
+            "count": len(values),
+            "p50_ms": round(percentile(values, 0.50) * 1e3, 3),
+            "p99_ms": round(percentile(values, 0.99) * 1e3, 3),
+            "max_ms": round(values[-1] * 1e3, 3) if values else 0.0,
+        }
+
+
+class ServerMetrics:
+    """Counters + reservoirs backing the ``/stats`` verb."""
+
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self._started = time.monotonic()
+        self.latency = LatencyReservoir()
+        self._accepted = 0
+        self._completed = 0
+        self._rejected = 0
+        self._errors = 0
+        self._batch_sizes: Counter = Counter()
+
+    # ------------------------------------------------------------------ #
+    def record_accepted(self) -> None:
+        with self._lock:
+            self._accepted += 1
+
+    def record_completed(self, latency_seconds: float) -> None:
+        with self._lock:
+            self._completed += 1
+        self.latency.record(latency_seconds)
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self._batch_sizes[size] += 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return self._completed
+
+    @property
+    def rejected(self) -> int:
+        with self._lock:
+            return self._rejected
+
+    def snapshot(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """The ``/stats`` payload body (JSON-able)."""
+        uptime = max(time.monotonic() - self._started, 1e-9)
+        with self._lock:
+            batches = dict(sorted(self._batch_sizes.items()))
+            total_batches = sum(batches.values())
+            total_batched = sum(size * count for size, count in batches.items())
+            body: Dict[str, Any] = {
+                "uptime_s": round(uptime, 3),
+                "requests": {
+                    "accepted": self._accepted,
+                    "completed": self._completed,
+                    "rejected": self._rejected,
+                    "errors": self._errors,
+                },
+                "throughput_rps": round(self._completed / uptime, 2),
+            }
+        body["latency"] = self.latency.snapshot_ms()
+        body["batches"] = {
+            "flushes": total_batches,
+            "mean_size": round(total_batched / total_batches, 2) if total_batches else 0.0,
+            # JSON object keys are strings; keep the histogram readable.
+            "histogram": {str(size): count for size, count in batches.items()},
+        }
+        if extra:
+            body.update(extra)
+        return body

@@ -1,0 +1,355 @@
+"""The always-on evaluation service over the vectorized pricing engine.
+
+Two layers:
+
+* :class:`EvaluationService` — the protocol-independent core: point-spec
+  parsing, the content-keyed response memo, problem interning, admission
+  control with backpressure, the adaptive micro-batcher, and the pricing
+  flush (vectorized :meth:`AnalyticBatchEngine.price_batch` by default, the
+  scalar reference loop when ``REPRO_ANALYTIC_BATCH=0`` or the service is
+  built with ``scalar=True`` — byte-identical responses either way).
+  In-process callers (``Workbench.evaluate_async``, tests) use it directly.
+
+* :class:`EvaluationServer` — the stdlib asyncio TCP front: JSON lines in,
+  JSON lines out (:mod:`repro.serve.protocol`), one task per request so a
+  pipelining client keeps many evaluations in flight on one connection —
+  which is exactly what gives the batcher something to batch.
+
+Bounded memory is a design rule, not an aspiration: the admission counter
+rejects beyond ``queue_limit`` (clients get ``retry_after_ms`` instead of
+the server growing an unbounded queue), the memo, the problem intern table,
+the engine's session LRU and the metrics reservoir are all bounded, and a
+disconnected client's pending futures are cancelled, priced results dropped
+on the floor, never retained.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.workbench import Workbench
+from repro.pipeline.analytic_batch import batching_enabled
+from repro.pipeline.backends import EvaluationRequest, EvaluationResult, evaluate
+from repro.pipeline.problem import StencilProblem
+from repro.serve.batcher import AdaptiveBatcher
+from repro.serve.memo import ResponseMemo
+from repro.serve.metrics import ServerMetrics
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode,
+    parse_point,
+    point_key,
+    result_payload,
+)
+
+
+class OverloadedError(RuntimeError):
+    """Raised (and reported to clients) when admission is over the watermark."""
+
+    def __init__(self, retry_after_ms: int) -> None:
+        super().__init__(f"service overloaded; retry after {retry_after_ms} ms")
+        self.retry_after_ms = retry_after_ms
+
+
+class EvaluationService:
+    """Micro-batched analytic evaluation behind one shared Workbench session.
+
+    Parameters
+    ----------
+    workbench:
+        The session whose plan cache and pricing engine this service shares;
+        a fresh one is created when omitted.  Sharing matters: an in-process
+        ``evaluate_async`` caller and the TCP front then hit the same packed
+        sessions and memoized folds.
+    max_batch / window_ms / min_window_ms / max_window_ms:
+        Micro-batcher shape (see :class:`~repro.serve.batcher.AdaptiveBatcher`).
+    queue_limit:
+        Admission high-watermark: evaluations in flight beyond this are
+        rejected with a ``retry_after_ms`` hint instead of queued.
+    memo_entries:
+        Bound of the content-keyed response memo (0 disables memoization).
+    scalar:
+        Force the per-request scalar reference path (no vectorized folds,
+        no memo) — the benchmark's baseline serving mode.
+    """
+
+    def __init__(
+        self,
+        workbench: Optional[Workbench] = None,
+        *,
+        max_batch: int = 64,
+        window_ms: float = 2.0,
+        min_window_ms: float = 0.2,
+        max_window_ms: float = 25.0,
+        queue_limit: int = 1024,
+        memo_entries: int = 4096,
+        scalar: bool = False,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be positive")
+        self.workbench = workbench if workbench is not None else Workbench()
+        self.engine = self.workbench.analytic_engine
+        self.cache = self.workbench.cache
+        self.queue_limit = queue_limit
+        self.scalar = scalar
+        self.memo: Optional[ResponseMemo] = (
+            ResponseMemo(memo_entries) if memo_entries > 0 and not scalar else None
+        )
+        self.metrics = ServerMetrics()
+        self.batcher = AdaptiveBatcher(
+            self._price,
+            max_batch=1 if scalar else max_batch,
+            window_ms=min_window_ms if scalar else window_ms,
+            min_window_ms=min_window_ms,
+            max_window_ms=max_window_ms,
+            on_flush=lambda size, why: self.metrics.record_batch(size),
+        )
+        self._inflight = 0
+        #: Bounded intern table: problem cache-key -> the one instance the
+        #: engine sees.  Identity matters downstream — the packed-session
+        #: cache keys on object ids — and interning also bounds how many
+        #: problem objects the session cache can pin.
+        self._interned: "OrderedDict[tuple, StencilProblem]" = OrderedDict()
+        self._max_interned = 4096
+
+    # ------------------------------------------------------------------ #
+    @property
+    def inflight(self) -> int:
+        """Evaluations admitted and not yet answered."""
+        return self._inflight
+
+    def _intern(self, problem: StencilProblem) -> StencilProblem:
+        key = problem.cache_key()
+        known = self._interned.get(key)
+        if known is not None:
+            self._interned.move_to_end(key)
+            return known
+        self._interned[key] = problem
+        while len(self._interned) > self._max_interned:
+            self._interned.popitem(last=False)
+        return problem
+
+    def _price(
+        self, problems: List[StencilProblem], request: EvaluationRequest
+    ) -> List[EvaluationResult]:
+        """One bucket flush.  The scalar loop is the byte-exact reference."""
+        if self.scalar or not batching_enabled():
+            return [
+                evaluate(problem, backend="analytic", request=request, cache=self.cache)
+                for problem in problems
+            ]
+        return self.engine.price_batch(
+            problems, request, cache=self.cache, with_artifacts=False
+        )
+
+    # ------------------------------------------------------------------ #
+    async def submit(self, spec: Dict[str, Any]) -> Tuple[Dict[str, Any], str]:
+        """Admit, evaluate and answer one point spec.
+
+        Returns ``(payload, served_by)`` with ``served_by`` one of ``memo``
+        or ``engine``.  Raises :class:`OverloadedError` past the admission
+        watermark and :class:`~repro.serve.protocol.ProtocolError` on a bad
+        spec — both before any state is queued.
+        """
+        problem, request = parse_point(spec)
+        if self._inflight >= self.queue_limit:
+            self.metrics.record_rejected()
+            # Two windows is the honest hint: one for the queue to flush,
+            # one for the retry to ride a fresh batch.
+            raise OverloadedError(max(1, int(self.batcher.window_ms * 2)))
+        started = time.perf_counter()
+        key = point_key(problem, request)
+        if self.memo is not None:
+            payload = self.memo.get(key)
+            if payload is not None:
+                self.metrics.record_accepted()
+                self.metrics.record_completed(time.perf_counter() - started)
+                return payload, "memo"
+        self.metrics.record_accepted()
+        self._inflight += 1
+        try:
+            result = await self.batcher.submit(self._intern(problem), request)
+        finally:
+            self._inflight -= 1
+        payload = result_payload(result)
+        if self.memo is not None:
+            self.memo.put(key, payload)
+        self.metrics.record_completed(time.perf_counter() - started)
+        return payload, "engine"
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` payload: throughput, latency, batching, caches."""
+        engine_info = self.engine.cache_info()
+        extra: Dict[str, Any] = {
+            "inflight": self._inflight,
+            "queue_limit": self.queue_limit,
+            "window_ms": round(self.batcher.window_ms, 3),
+            "scalar": self.scalar,
+            "batching_enabled": not self.scalar and batching_enabled(),
+            "memo": (
+                self.memo.cache_info()._asdict() if self.memo is not None else None
+            ),
+            "engine": engine_info._asdict(),
+            "engine_hit_rates": {
+                "packed_session": round(engine_info.session_hit_rate, 4),
+                "fold_memo": round(engine_info.fold_hit_rate, 4),
+            },
+            "plan_cache": self.workbench.cache_info()._asdict(),
+        }
+        return self.metrics.snapshot(extra)
+
+
+class EvaluationServer:
+    """Asyncio TCP front for an :class:`EvaluationService` (JSON lines)."""
+
+    def __init__(
+        self,
+        service: Optional[EvaluationService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **service_kwargs: Any,
+    ) -> None:
+        if service is not None and service_kwargs:
+            raise ValueError("pass either a service or service kwargs, not both")
+        self.service = service if service is not None else EvaluationService(**service_kwargs)
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: "set[asyncio.Task]" = set()
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop accepting, close the listener, and tear down live connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI's main loop)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        me = asyncio.current_task()
+        if me is not None:
+            self._connections.add(me)
+        write_lock = asyncio.Lock()
+        tasks: "set[asyncio.Task]" = set()
+
+        async def respond(message: Dict[str, Any]) -> None:
+            async with write_lock:
+                writer.write(encode(message))
+                await writer.drain()
+
+        async def handle_request(message: Dict[str, Any]) -> None:
+            request_id = message.get("id")
+            try:
+                verb = message.get("verb", "evaluate")
+                if verb == "ping":
+                    await respond(
+                        {"id": request_id, "ok": True, "result": "pong",
+                         "protocol": PROTOCOL_VERSION}
+                    )
+                elif verb == "stats":
+                    await respond({"id": request_id, "ok": True, "result": self.service.stats()})
+                elif verb == "evaluate":
+                    payload, served_by = await self.service.submit(message.get("point", {}))
+                    await respond(
+                        {"id": request_id, "ok": True, "served_by": served_by,
+                         "result": payload}
+                    )
+                else:
+                    await respond(
+                        {"id": request_id, "ok": False, "error": f"unknown verb {verb!r}"}
+                    )
+            except OverloadedError as exc:
+                await respond(
+                    {"id": request_id, "ok": False, "error": "overloaded",
+                     "retry_after_ms": exc.retry_after_ms}
+                )
+            except ProtocolError as exc:
+                self.service.metrics.record_error()
+                await respond({"id": request_id, "ok": False, "error": str(exc)})
+            except asyncio.CancelledError:
+                raise
+            except ConnectionError:
+                pass  # client went away while we were writing
+            except Exception as exc:  # noqa: BLE001 — report, don't kill the connection
+                self.service.metrics.record_error()
+                try:
+                    await respond(
+                        {"id": request_id, "ok": False,
+                         "error": f"internal error: {type(exc).__name__}: {exc}"}
+                    )
+                except ConnectionError:
+                    pass
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    message = decode_line(stripped)
+                except ProtocolError as exc:
+                    self.service.metrics.record_error()
+                    await respond({"id": None, "ok": False, "error": str(exc)})
+                    continue
+                # One task per request: later requests on the same connection
+                # are admitted while earlier ones wait in the batcher —
+                # pipelining is what fills buckets.
+                task = asyncio.ensure_future(handle_request(message))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            # Cancel whatever this connection still has in flight; the
+            # batcher skips cancelled waiters, so no future outlives us.
+            for task in list(tasks):
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                # CancelledError here is the loop (or stop()) tearing the
+                # handler down mid-close; the transport is gone either way.
+                pass
+            if me is not None:
+                self._connections.discard(me)
+
+
+async def run_server(
+    host: str = "127.0.0.1", port: int = 0, **service_kwargs: Any
+) -> EvaluationServer:
+    """Start a server (mostly for interactive / notebook use)."""
+    server = EvaluationServer(host=host, port=port, **service_kwargs)
+    await server.start()
+    return server

@@ -11,6 +11,7 @@ counting contract (one miss + N−1 hits for a shared design).
 """
 
 import random
+import threading
 from dataclasses import replace
 
 import pytest
@@ -384,3 +385,119 @@ class TestBatchEvaluateFastPath:
         result = batch_evaluate([problem], iterations=2)[0]
         reference = evaluate(problem, backend="analytic", iterations=2)
         assert_bitwise_equal(reference, result)
+
+
+class TestEngineCacheCounters:
+    """Satellites: empty-batch guards, the cache_info() session/fold
+    counters, and thread-safety of the shared engine caches."""
+
+    def test_empty_batches_return_empty(self, engine):
+        assert engine.price([]) == []
+        assert engine.price([], with_artifacts=False) == []
+        assert engine.price_batch([], EvaluationRequest(iterations=3)) == []
+        info = engine.cache_info()
+        assert info.session_misses == 0 and info.fold_misses == 0
+        assert info.misses == 0
+
+    def test_session_and_fold_counters(self):
+        engine = AnalyticBatchEngine()
+        cache = PlanCache()
+        problems = [
+            StencilProblem.paper_example(9, 9),
+            StencilProblem.paper_example(11, 11),
+        ]
+        engine.price_batch(problems, EvaluationRequest(iterations=2), cache=cache)
+        info = engine.cache_info()
+        assert (info.session_hits, info.session_misses) == (0, 1)
+        assert (info.fold_hits, info.fold_misses) == (0, 1)
+        assert info.session_currsize == 1
+
+        # Same problem objects, same knobs: session hit AND fold hit.
+        engine.price_batch(problems, EvaluationRequest(iterations=2), cache=cache)
+        info = engine.cache_info()
+        assert (info.session_hits, info.fold_hits) == (1, 1)
+
+        # Same problem objects, new knobs: session hit, fresh fold.
+        engine.price_batch(problems, EvaluationRequest(iterations=5), cache=cache)
+        info = engine.cache_info()
+        assert (info.session_hits, info.session_misses) == (2, 1)
+        assert (info.fold_hits, info.fold_misses) == (1, 2)
+        assert info.session_hit_rate == pytest.approx(2 / 3)
+        assert info.fold_hit_rate == pytest.approx(1 / 3)
+
+    def test_session_evictions_are_counted(self):
+        engine = AnalyticBatchEngine(max_sessions=2)
+        cache = PlanCache()
+        lists = [[StencilProblem.paper_example(9 + i, 9)] for i in range(3)]
+        for problems in lists:
+            engine.price_batch(problems, EvaluationRequest(iterations=1), cache=cache)
+        info = engine.cache_info()
+        assert info.session_misses == 3
+        assert info.session_evictions == 1
+        assert info.session_currsize == 2 == info.session_maxsize
+        # The evicted (oldest) list misses again on re-price.
+        engine.price_batch(lists[0], EvaluationRequest(iterations=1), cache=cache)
+        assert engine.cache_info().session_misses == 4
+
+    def test_clear_resets_every_counter(self):
+        engine = AnalyticBatchEngine()
+        cache = PlanCache()
+        problems = [StencilProblem.paper_example(9, 9)]
+        engine.price_batch(problems, EvaluationRequest(iterations=1), cache=cache)
+        engine.price_batch(problems, EvaluationRequest(iterations=1), cache=cache)
+        engine.clear()
+        info = engine.cache_info()
+        assert (info.session_hits, info.session_misses, info.session_evictions) == (0, 0, 0)
+        assert (info.fold_hits, info.fold_misses) == (0, 0)
+        assert info.session_currsize == 0
+
+    def test_concurrent_price_batch_is_safe_and_exact(self, scalar):
+        """Several threads hammer one engine on shared problem lists; every
+        result must still be bitwise-equal to the scalar reference."""
+        engine = AnalyticBatchEngine()
+        cache = PlanCache()
+        problems = [
+            StencilProblem.paper_example(rows, cols)
+            for rows, cols in [(7, 9), (11, 11), (16, 12)]
+        ]
+        requests = [
+            EvaluationRequest(system=system, iterations=iterations)
+            for system in ("smache", "baseline")
+            for iterations in (1, 3, 5)
+        ]
+        expected = [
+            [scalar(compile(problem), request) for problem in problems]
+            for request in requests
+        ]
+        errors = []
+        collected = {}
+
+        def hammer(tid):
+            try:
+                out = []
+                for _ in range(10):
+                    for request in requests:
+                        out.append(
+                            engine.price_batch(problems, request, cache=cache)
+                        )
+                collected[tid] = out
+            except Exception as exc:  # noqa: BLE001 — reraised below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert len(collected) == 4
+        for out in collected.values():
+            for call_index, results in enumerate(out):
+                references = expected[call_index % len(requests)]
+                for reference, result in zip(references, results):
+                    assert_bitwise_equal(reference, result)
+        info = engine.cache_info()
+        # One packed session total, shared by every thread.
+        assert info.session_currsize == 1
+        assert info.session_hits + info.session_misses == 4 * 10 * len(requests)
+        assert info.session_evictions == 0

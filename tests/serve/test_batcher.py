@@ -1,0 +1,208 @@
+"""The adaptive micro-batcher: bucketing, flush triggers, window adaptation."""
+
+import asyncio
+
+import pytest
+
+from repro.memory.dram import DRAMTiming
+from repro.pipeline.backends import EvaluationRequest
+from repro.pipeline.problem import StencilProblem
+from repro.serve.batcher import AdaptiveBatcher, request_signature
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def echo_pricer(calls):
+    """A pricer that records (problems, request) and answers with the inputs."""
+
+    def price(problems, request):
+        calls.append((list(problems), request))
+        return [(problem, request) for problem in problems]
+
+    return price
+
+
+PROBLEM = StencilProblem.paper_example(11, 11)
+
+
+class TestRequestSignature:
+    def test_equal_requests_share_a_bucket_key(self):
+        a = EvaluationRequest(iterations=3, dram_timing=DRAMTiming(read_latency=9))
+        b = EvaluationRequest(iterations=3, dram_timing=DRAMTiming(read_latency=9))
+        assert request_signature(a) == request_signature(b)
+
+    def test_default_timing_equals_explicit_default(self):
+        assert request_signature(EvaluationRequest()) == request_signature(
+            EvaluationRequest(dram_timing=DRAMTiming())
+        )
+
+    def test_any_knob_changes_the_key(self):
+        base = EvaluationRequest(iterations=3)
+        for other in (
+            EvaluationRequest(iterations=4),
+            EvaluationRequest(iterations=3, system="baseline"),
+            EvaluationRequest(iterations=3, write_through=False),
+            EvaluationRequest(iterations=3, dram_timing=DRAMTiming(read_latency=9)),
+        ):
+            assert request_signature(other) != request_signature(base)
+
+
+class TestFlushing:
+    def test_size_triggered_flush_prices_one_batch(self):
+        calls = []
+        batcher = AdaptiveBatcher(echo_pricer(calls), max_batch=4, window_ms=1000.0,
+                                  max_window_ms=1000.0)
+
+        async def main():
+            request = EvaluationRequest(iterations=2)
+            results = await asyncio.gather(
+                *(batcher.submit(PROBLEM, request) for _ in range(4))
+            )
+            return results
+
+        results = run(main())
+        assert len(calls) == 1
+        assert len(calls[0][0]) == 4
+        assert all(problem is PROBLEM for problem, _ in results)
+        assert batcher.pending() == 0
+
+    def test_window_triggered_flush_delivers_partial_bucket(self):
+        calls = []
+        batcher = AdaptiveBatcher(echo_pricer(calls), max_batch=100, window_ms=5.0)
+
+        async def main():
+            return await batcher.submit(PROBLEM, EvaluationRequest(iterations=2))
+
+        result = run(main())
+        assert result[0] is PROBLEM
+        assert len(calls) == 1 and len(calls[0][0]) == 1
+
+    def test_distinct_signatures_get_distinct_buckets(self):
+        calls = []
+        batcher = AdaptiveBatcher(echo_pricer(calls), max_batch=2, window_ms=1000.0,
+                                  max_window_ms=1000.0)
+
+        async def main():
+            fast = EvaluationRequest(iterations=1)
+            slow = EvaluationRequest(iterations=9)
+            await asyncio.gather(
+                batcher.submit(PROBLEM, fast),
+                batcher.submit(PROBLEM, slow),
+                batcher.submit(PROBLEM, fast),
+                batcher.submit(PROBLEM, slow),
+            )
+
+        run(main())
+        assert len(calls) == 2
+        iteration_counts = sorted(request.iterations for _, request in calls)
+        assert iteration_counts == [1, 9]
+
+    def test_pricing_error_fans_out_to_all_waiters(self):
+        def explode(problems, request):
+            raise RuntimeError("boom")
+
+        batcher = AdaptiveBatcher(explode, max_batch=2, window_ms=1000.0,
+                                  max_window_ms=1000.0)
+
+        async def main():
+            request = EvaluationRequest()
+            results = await asyncio.gather(
+                batcher.submit(PROBLEM, request),
+                batcher.submit(PROBLEM, request),
+                return_exceptions=True,
+            )
+            return results
+
+        results = run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert batcher.pending() == 0
+
+    def test_short_pricing_is_reported_not_hung(self):
+        batcher = AdaptiveBatcher(lambda problems, request: [], max_batch=1,
+                                  window_ms=5.0)
+
+        async def main():
+            with pytest.raises(RuntimeError, match="0 results for 1"):
+                await batcher.submit(PROBLEM, EvaluationRequest())
+
+        run(main())
+
+    def test_cancelled_waiters_are_skipped_and_nothing_leaks(self):
+        calls = []
+        batcher = AdaptiveBatcher(echo_pricer(calls), max_batch=10, window_ms=20.0)
+
+        async def main():
+            request = EvaluationRequest()
+            doomed = asyncio.ensure_future(batcher.submit(PROBLEM, request))
+            survivor = asyncio.ensure_future(batcher.submit(PROBLEM, request))
+            await asyncio.sleep(0)  # let both enqueue
+            doomed.cancel()
+            result = await survivor
+            assert result[0] is PROBLEM
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+
+        run(main())
+        assert len(calls) == 1 and len(calls[0][0]) == 2
+        assert batcher.pending() == 0
+
+    def test_flush_all_drains_every_bucket(self):
+        calls = []
+        batcher = AdaptiveBatcher(echo_pricer(calls), max_batch=100, window_ms=1000.0,
+                                  max_window_ms=1000.0)
+
+        async def main():
+            futures = [
+                asyncio.ensure_future(
+                    batcher.submit(PROBLEM, EvaluationRequest(iterations=i))
+                )
+                for i in (1, 2, 3)
+            ]
+            await asyncio.sleep(0)
+            assert batcher.pending() == 3
+            batcher.flush_all()
+            await asyncio.gather(*futures)
+            assert batcher.pending() == 0
+
+        run(main())
+        assert len(calls) == 3
+
+
+class TestAdaptiveWindow:
+    def test_full_flushes_grow_the_window(self):
+        batcher = AdaptiveBatcher(lambda p, r: [None] * len(p), max_batch=2,
+                                  window_ms=2.0, max_window_ms=10.0, grow=2.0)
+
+        async def main():
+            request = EvaluationRequest()
+            for _ in range(8):
+                await asyncio.gather(
+                    batcher.submit(PROBLEM, request), batcher.submit(PROBLEM, request)
+                )
+
+        run(main())
+        assert batcher.window_ms == 10.0  # grown and clamped at the ceiling
+
+    def test_sparse_timer_flushes_shrink_the_window(self):
+        batcher = AdaptiveBatcher(lambda p, r: [None] * len(p), max_batch=100,
+                                  window_ms=4.0, min_window_ms=1.0, shrink=0.5)
+
+        async def main():
+            for _ in range(6):
+                await batcher.submit(PROBLEM, EvaluationRequest())
+
+        run(main())
+        assert batcher.window_ms == 1.0  # shrunk and clamped at the floor
+
+    def test_constructor_validation(self):
+        price = lambda p, r: []  # noqa: E731
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(price, max_batch=0)
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(price, window_ms=0.1, min_window_ms=0.2)
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(price, grow=0.9)
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(price, shrink=1.5)

@@ -1,0 +1,39 @@
+"""The bounded content-keyed response memo."""
+
+import pytest
+
+from repro.serve.memo import ResponseMemo
+
+
+class TestResponseMemo:
+    def test_miss_then_hit(self):
+        memo = ResponseMemo(max_entries=4)
+        assert memo.get("k") is None
+        memo.put("k", {"cycles": 1})
+        assert memo.get("k") == {"cycles": 1}
+        info = memo.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (1, 1, 1)
+
+    def test_lru_eviction_order(self):
+        memo = ResponseMemo(max_entries=2)
+        memo.put("a", {"v": 1})
+        memo.put("b", {"v": 2})
+        assert memo.get("a") is not None  # refresh a; b is now LRU
+        memo.put("c", {"v": 3})
+        assert memo.get("b") is None
+        assert memo.get("a") is not None
+        assert memo.get("c") is not None
+        assert memo.evictions == 1
+
+    def test_clear_resets_counters(self):
+        memo = ResponseMemo()
+        memo.put("a", {})
+        memo.get("a")
+        memo.clear()
+        info = memo.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+        assert len(memo) == 0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            ResponseMemo(max_entries=0)
