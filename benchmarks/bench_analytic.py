@@ -30,10 +30,11 @@ if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_anal
 
 from benchmarks.conftest import run_once
 from repro.api import Workbench
+from repro.bench.host import cpu_count, host_extra_info, smoke_mode
 from repro.pipeline import StencilProblem
 from repro.pipeline.cache import PlanCache
 
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+SMOKE = smoke_mode()
 
 #: Batch size: the acceptance claim is stated over a 1000-point batch.
 N_POINTS = 120 if SMOKE else 1000
@@ -66,11 +67,7 @@ class TestBatchedAnalyticPricing:
         iterations = 5
         cache = PlanCache(max_entries=2048)
         workbench = Workbench(cache=cache)
-        cpus = (
-            len(os.sched_getaffinity(0))
-            if hasattr(os, "sched_getaffinity")
-            else os.cpu_count()
-        )
+        cpus = cpu_count()
 
         # Warm both paths: the scalar loop gets a hot plan cache, the batch
         # path a populated packed session, so the comparison isolates pricing.
@@ -124,13 +121,12 @@ class TestBatchedAnalyticPricing:
         # A contended host (shared CI runner, single core) distorts the
         # per-point timings; record the label so the BENCH trajectory stays
         # interpretable, and only assert performance on clean hosts.
-        contended = cpus is None or cpus < 2
+        extra = host_extra_info()
+        contended = extra["contended"]
+        benchmark.extra_info.update(extra)
         benchmark.extra_info.update(
             points=len(problems),
             iterations=iterations,
-            smoke=SMOKE,
-            cpus=cpus,
-            contended=contended,
             scalar_points_per_second=round(len(problems) / scalar_seconds),
             vectorized_points_per_second=round(len(problems) / vectorized_seconds),
             scalar_seconds=round(scalar_seconds, 6),
@@ -169,18 +165,6 @@ class TestBatchedAnalyticPricing:
 
 
 if __name__ == "__main__":
-    import argparse
+    from repro.bench.suites import standalone_main
 
-    import pytest
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--benchmark-json", default="BENCH_analytic.json",
-        help="where to write the benchmark record (default: BENCH_analytic.json)",
-    )
-    args = parser.parse_args()
-    sys.exit(
-        pytest.main(
-            [__file__, "--benchmark-only", "-s", f"--benchmark-json={args.benchmark_json}"]
-        )
-    )
+    sys.exit(standalone_main("analytic"))

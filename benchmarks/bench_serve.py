@@ -38,11 +38,12 @@ if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_serv
             sys.path.insert(0, _path)
 
 from benchmarks.conftest import run_once
+from repro.bench.host import cpu_count, host_extra_info, smoke_mode
 from repro.pipeline.backends import evaluate
 from repro.serve import AsyncServeClient, EvaluationServer
 from repro.serve.protocol import make_point, parse_point, result_payload
 
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+SMOKE = smoke_mode()
 
 #: Load shape: the acceptance claim is stated over 1000 mixed requests.
 N_REQUESTS = 150 if SMOKE else 1000
@@ -140,11 +141,7 @@ class TestServedThroughput:
         """The acceptance claim: >=5x served throughput from micro-batching."""
         specs = point_mix(N_REQUESTS, N_UNIQUE)
         references = scalar_references(specs)
-        cpus = (
-            len(os.sched_getaffinity(0))
-            if hasattr(os, "sched_getaffinity")
-            else os.cpu_count()
-        )
+        cpus = cpu_count()
 
         batched_payloads, batched_seconds, batched_stats = run_once(
             benchmark, serve_load, specs, scalar=False
@@ -167,15 +164,14 @@ class TestServedThroughput:
         batches = batched_stats["batches"]
         memo = batched_stats["memo"] or {}
         memo_lookups = memo.get("hits", 0) + memo.get("misses", 0)
-        contended = cpus is None or cpus < 2
+        extra = host_extra_info()
+        contended = extra["contended"]
+        benchmark.extra_info.update(extra)
         benchmark.extra_info.update(
             requests=len(specs),
             unique_points=N_UNIQUE,
             connections=CONNECTIONS,
             concurrency=CONCURRENCY,
-            smoke=SMOKE,
-            cpus=cpus,
-            contended=contended,
             batched_rps=round(batched_rps),
             scalar_concurrent_rps=round(scalar_rps),
             scalar_serial_rps=round(serial_rps),
@@ -227,18 +223,6 @@ class TestServedThroughput:
 
 
 if __name__ == "__main__":
-    import argparse
+    from repro.bench.suites import standalone_main
 
-    import pytest
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--benchmark-json", default="BENCH_serve.json",
-        help="where to write the benchmark record (default: BENCH_serve.json)",
-    )
-    args = parser.parse_args()
-    sys.exit(
-        pytest.main(
-            [__file__, "--benchmark-only", "-s", f"--benchmark-json={args.benchmark_json}"]
-        )
-    )
+    sys.exit(standalone_main("serve"))

@@ -38,6 +38,7 @@ if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_sim.
 import numpy as np
 
 from benchmarks.conftest import run_once
+from repro.bench.host import host_extra_info, smoke_mode
 from repro.arch.system import BaselineSystem, SmacheSystem
 from repro.core.boundary import BoundarySpec
 from repro.core.config import SmacheConfig
@@ -53,7 +54,7 @@ from repro.reference.stencil_exec import (
     reference_step_scalar,
 )
 
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+SMOKE = smoke_mode()
 
 #: The fixed benchmark configuration: the paper's 11x11 example against a
 #: heavily-queued external memory (~1 us read latency at 300 MHz).
@@ -94,10 +95,10 @@ class TestFastEngineBenchmark:
         cps_fast = fast.cycles / fast_seconds
         speedup = cps_fast / cps_naive
         stats = fast.engine_stats
+        benchmark.extra_info.update(host_extra_info())
         benchmark.extra_info.update(
             cycles=naive.cycles,
             iterations=BENCH_ITERATIONS,
-            smoke=SMOKE,
             cycles_per_sec_naive=round(cps_naive),
             cycles_per_sec_fast=round(cps_fast),
             speedup=round(speedup, 2),
@@ -122,9 +123,9 @@ class TestFastEngineBenchmark:
 
         speedup = (fast.cycles / fast_seconds) / (naive.cycles / naive_seconds)
         stats = fast.engine_stats
+        benchmark.extra_info.update(host_extra_info())
         benchmark.extra_info.update(
             cycles=naive.cycles,
-            smoke=SMOKE,
             speedup=round(speedup, 2),
             skip_ratio=round(stats["skip_ratio"], 4),
         )
@@ -145,7 +146,8 @@ class TestFastEngineBenchmark:
         )
         _assert_parity(naive, fast)
         ratio = fast_seconds / naive_seconds
-        benchmark.extra_info.update(smoke=SMOKE, overhead_ratio=round(ratio, 3))
+        benchmark.extra_info.update(host_extra_info())
+        benchmark.extra_info.update(overhead_ratio=round(ratio, 3))
         print()
         print(f"default timing: fast/naive wall ratio {ratio:.2f} "
               f"(skip ratio {fast.engine_stats['skip_ratio']:.1%})")
@@ -188,10 +190,10 @@ class TestReferenceExecutorBenchmark:
         cells = grid.size * iterations
         scalar_cps = grid.size / scalar_seconds  # first step only
         vec_cps = cells / vec_seconds
+        benchmark.extra_info.update(host_extra_info())
         benchmark.extra_info.update(
             grid=list(shape),
             iterations=iterations,
-            smoke=SMOKE,
             plan_build_seconds=round(plan_seconds, 4),
             cells_per_sec_scalar=round(scalar_cps),
             cells_per_sec_vectorized=round(vec_cps),
@@ -207,24 +209,6 @@ class TestReferenceExecutorBenchmark:
 
 
 if __name__ == "__main__":
-    import argparse
+    from repro.bench.suites import standalone_main
 
-    import pytest
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--benchmark-json", default="BENCH_sim.json",
-        help="where to write the benchmark record (default: BENCH_sim.json)",
-    )
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="shrink workloads and skip wall-clock assertions (CI mode)",
-    )
-    args = parser.parse_args()
-    if args.smoke:
-        os.environ["REPRO_BENCH_SMOKE"] = "1"
-    sys.exit(
-        pytest.main(
-            [__file__, "--benchmark-only", "-s", f"--benchmark-json={args.benchmark_json}"]
-        )
-    )
+    sys.exit(standalone_main("sim"))

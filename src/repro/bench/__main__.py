@@ -1,0 +1,310 @@
+"""Benchmark harness and regression gate: ``python -m repro.bench``.
+
+Subcommands::
+
+    python -m repro.bench run [SUITE ...] [--smoke] [--json-dir DIR]
+                              [--record HISTORY] [--gate]
+    python -m repro.bench record FILE ... --history HISTORY
+    python -m repro.bench gate [FILE ...] [--history HISTORY] [--strict]
+                               [--references REFS.json]
+    python -m repro.bench trend [--history HISTORY] [--metric SUBSTR]
+                                [--events LOG ...]
+
+``run`` drives any subset of the four registered benchmark suites (sim,
+pipeline, analytic, serve — default all) through one pytest harness,
+prints each suite's gate report, and optionally appends the envelopes to a
+perf history.  ``record`` appends existing benchmark JSON files (native
+envelopes or pytest-benchmark dumps) to a history.  ``gate`` checks either
+benchmark JSON files (default: the four committed ``BENCH_*.json``
+baselines in the cwd) or the newest history record per (suite, host)
+against the per-host reference bands, exiting 1 on any out-of-band metric
+— the ``python -m repro.sweep diff`` convention.  ``trend`` renders
+per-metric history tables and, given campaign event logs, per-worker
+throughput mined from the stream.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from typing import List, Optional
+
+from repro.bench.gate import gate_results
+from repro.bench.history import PerfHistory
+from repro.bench.model import BenchResult, load_result, suite_of_path
+from repro.bench.references import DEFAULT_REFERENCES, load_references
+from repro.bench.suites import SUITES, BenchRunError, run_suite
+from repro.bench.trend import format_trend_report, format_worker_report
+
+SUBCOMMANDS = ("run", "record", "gate", "trend")
+
+#: The committed baseline files ``gate`` checks when given no inputs.
+DEFAULT_BASELINES = tuple(spec.default_json for spec in SUITES.values())
+
+
+def _parse_suites(names: List[str], parser: argparse.ArgumentParser) -> List[str]:
+    chosen = names or list(SUITES)
+    for name in chosen:
+        if name not in SUITES:
+            parser.error(
+                f"unknown suite {name!r} (choose from: {', '.join(SUITES)})"
+            )
+    return chosen
+
+
+def _load_files(
+    paths: List[str], parser: argparse.ArgumentParser
+) -> List[BenchResult]:
+    results = []
+    for path in paths:
+        suite = suite_of_path(path)
+        if suite is None:
+            parser.error(
+                f"cannot infer the suite from {path!r}; name files like "
+                "BENCH_sim.json or pass envelopes that carry their own suite"
+            )
+        try:
+            results.append(load_result(path, suite=suite))
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot load {path!r}: {exc}")
+    return results
+
+
+def _references(path: Optional[str], parser: argparse.ArgumentParser):
+    if path is None:
+        return DEFAULT_REFERENCES
+    try:
+        return load_references(path)
+    except (OSError, ValueError) as exc:
+        parser.error(f"cannot load references {path!r}: {exc}")
+
+
+def _print_reports(reports, exit_code: int) -> None:
+    for report in reports:
+        print(report.format())
+        print()
+    verdict = "PASS" if exit_code == 0 else "FAIL"
+    print(f"gate: {verdict} ({len(reports)} suite report(s))")
+
+
+# --------------------------------------------------------------------------- #
+def _run_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench run",
+        description="Run benchmark suites through the shared pytest harness, "
+        "report their metrics against the per-host references, and optionally "
+        "append the results to a perf history.",
+    )
+    parser.add_argument(
+        "suites",
+        nargs="*",
+        metavar="SUITE",
+        help=f"suites to run (default: all of {', '.join(SUITES)})",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrunk CI workloads; smoke results are reported but never gate",
+    )
+    parser.add_argument(
+        "--json-dir",
+        default=None,
+        help="directory for the per-suite benchmark JSON files "
+        "(default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--record",
+        metavar="HISTORY",
+        default=None,
+        help="append each suite's envelope to this perf-history JSONL",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="also gate the fresh results: exit 1 on any out-of-band metric",
+    )
+    parser.add_argument(
+        "--references",
+        metavar="REFS.json",
+        default=None,
+        help="reference table to gate against (default: the built-in table)",
+    )
+    args = parser.parse_args(argv)
+    chosen = _parse_suites(args.suites, parser)
+    references = _references(args.references, parser)
+
+    results: List[BenchResult] = []
+    failed_suites: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        json_dir = args.json_dir or tmp
+        os.makedirs(json_dir, exist_ok=True)
+        for name in chosen:
+            spec = SUITES[name]
+            json_path = os.path.join(json_dir, f"BENCH_{name}.json")
+            print(f"== running suite {name!r} ({spec.description})", flush=True)
+            try:
+                results.append(run_suite(spec, json_path, smoke=args.smoke))
+            except BenchRunError as exc:
+                print(f"!! {exc}", file=sys.stderr)
+                failed_suites.append(name)
+
+    if args.record and results:
+        history = PerfHistory(args.record)
+        for result in results:
+            history.append(result)
+        print(f"recorded {len(results)} result(s) to {args.record}")
+
+    reports, exit_code = gate_results(results, references)
+    _print_reports(reports, exit_code)
+    if failed_suites:
+        print(f"suites failed to run: {', '.join(failed_suites)}", file=sys.stderr)
+        return 1
+    return exit_code if args.gate else 0
+
+
+def _record_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench record",
+        description="Append benchmark JSON files (native envelopes or "
+        "pytest-benchmark dumps) to an append-only perf-history JSONL.",
+    )
+    parser.add_argument("files", nargs="+", metavar="FILE", help="benchmark JSON files")
+    parser.add_argument(
+        "--history", required=True, help="perf-history JSONL to append to"
+    )
+    args = parser.parse_args(argv)
+    results = _load_files(args.files, parser)
+    history = PerfHistory(args.history)
+    for result in results:
+        record = history.append(result)
+        print(
+            f"recorded {record.suite} @ {record.host_key} "
+            f"({len(record.metrics)} metric(s), "
+            f"commit {(record.commit_id or 'unknown')[:10]})"
+        )
+    return 0
+
+
+def _gate_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench gate",
+        description="Gate benchmark results against the per-host reference "
+        "bands.  With FILEs (default: the committed BENCH_*.json baselines in "
+        "the cwd) each file is checked; with --history the newest record per "
+        "(suite, host) is checked.  Exit code 0 when every metric is in band, "
+        "1 otherwise.  Smoke results never gate.",
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        metavar="FILE",
+        help="benchmark JSON files (default: the committed baselines)",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="HISTORY",
+        default=None,
+        help="gate the newest perf-history record per (suite, host) instead",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail when a referenced metric is missing from a result",
+    )
+    parser.add_argument(
+        "--references",
+        metavar="REFS.json",
+        default=None,
+        help="reference table JSON (default: the built-in table)",
+    )
+    args = parser.parse_args(argv)
+    references = _references(args.references, parser)
+
+    if args.history is not None:
+        if args.files:
+            parser.error("pass FILEs or --history, not both")
+        latest = PerfHistory(args.history).latest()
+        if not latest:
+            print(f"perf history {args.history!r} holds no records")
+            return 1
+        results = [record.to_result() for record in latest]
+    else:
+        results = _load_files(args.files or list(DEFAULT_BASELINES), parser)
+
+    reports, exit_code = gate_results(results, references, strict=args.strict)
+    _print_reports(reports, exit_code)
+    return exit_code
+
+
+def _trend_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench trend",
+        description="Render per-metric history tables (value and delta per "
+        "recorded commit/host) and, given campaign event logs, per-worker "
+        "throughput mined from the persisted event stream.",
+    )
+    parser.add_argument(
+        "--history", metavar="HISTORY", default=None, help="perf-history JSONL"
+    )
+    parser.add_argument(
+        "--suite", default=None, help="restrict history tables to one suite"
+    )
+    parser.add_argument(
+        "--metric",
+        default=None,
+        help="restrict history tables to metrics containing this substring",
+    )
+    parser.add_argument(
+        "--no-smoke",
+        action="store_true",
+        help="exclude smoke records from the history tables",
+    )
+    parser.add_argument(
+        "--events",
+        nargs="+",
+        metavar="LOG",
+        default=None,
+        help="campaign event logs to mine for per-worker throughput",
+    )
+    args = parser.parse_args(argv)
+    if args.history is None and not args.events:
+        parser.error("nothing to report: pass --history and/or --events")
+
+    sections = []
+    if args.history is not None:
+        records = PerfHistory(args.history).records(
+            suite=args.suite, include_smoke=not args.no_smoke
+        )
+        sections.append(format_trend_report(records, contains=args.metric))
+    for log in args.events or ():
+        sections.append(format_worker_report(log))
+    print("\n\n".join(sections))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    """CLI driver; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        return {
+            "run": _run_main,
+            "record": _record_main,
+            "gate": _gate_main,
+            "trend": _trend_main,
+        }[argv[0]](argv[1:])
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark harness and performance-regression gate "
+        "(subcommands: run, record, gate, trend).",
+    )
+    parser.parse_args(argv)
+    parser.error(f"choose a subcommand: {', '.join(SUBCOMMANDS)}")
+    return 2  # unreachable; parser.error exits
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""Regression gating: benchmark envelopes against per-host reference bands.
+
+:func:`check_result` compares one :class:`~repro.bench.model.BenchResult`
+with the references resolved for its host and produces a
+:class:`GateReport`; :func:`gate_results` folds many reports into one
+process exit code — the same pattern as ``CampaignResult.diff`` /
+``python -m repro.sweep diff`` (0 when clean, 1 on any out-of-band metric).
+
+Exemptions are explicit, never silent:
+
+* **smoke** results never gate — CI's shrunk workloads check the plumbing,
+  not the performance of a shared runner; every metric is reported with
+  status ``smoke`` and the report passes by construction;
+* metrics in :data:`~repro.bench.references.CONTENDED_EXEMPT` are skipped
+  on hosts whose envelope says ``contended`` (pool-vs-serial wall clock on
+  a single core is a scheduling artefact, not a regression);
+* a referenced metric absent from the result is reported ``missing`` and
+  only fails under ``strict`` (a benchmark being *dropped* should not slip
+  through a gate that was tuned to watch it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.bench.model import BenchResult
+from repro.bench.references import (
+    CONTENDED_EXEMPT,
+    DEFAULT_REFERENCES,
+    MetricBand,
+    ReferenceTable,
+    WILDCARD,
+    band_bounds,
+    format_band,
+    in_band,
+    resolve_references,
+)
+from repro.utils.tables import format_table
+
+#: Check statuses that count as failures (plus ``missing`` under strict).
+FAIL_STATUSES = ("low", "high")
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One metric against one band: the unit of gate output."""
+
+    metric: str
+    status: str  #: ok | low | high | missing | smoke | contended | unreferenced
+    value: Optional[float] = None
+    band: Optional[MetricBand] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAIL_STATUSES
+
+    def format_row(self) -> List:
+        band = format_band(self.band) if self.band is not None else "-"
+        value = "-" if self.value is None else self.value
+        return [self.metric, value, band, self.status]
+
+
+@dataclass
+class GateReport:
+    """Every metric check for one benchmark envelope."""
+
+    suite: str
+    host_key: str
+    smoke: bool
+    contended: Optional[bool]
+    reference_host: str  #: which table entry resolved ("vm:x86_64", "*", or "-")
+    checks: List[MetricCheck] = field(default_factory=list)
+
+    def failures(self, strict: bool = False) -> List[MetricCheck]:
+        """The checks that gate this report (out-of-band, plus missing when strict)."""
+        bad = [c for c in self.checks if c.failed]
+        if strict:
+            bad += [c for c in self.checks if c.status == "missing"]
+        return bad
+
+    def passed(self, strict: bool = False) -> bool:
+        return not self.failures(strict)
+
+    def counts(self) -> dict:
+        tally: dict = {}
+        for check in self.checks:
+            tally[check.status] = tally.get(check.status, 0) + 1
+        return tally
+
+    def format(self) -> str:
+        """Aligned per-metric table plus a one-line verdict."""
+        flags = []
+        if self.smoke:
+            flags.append("smoke")
+        if self.contended:
+            flags.append("contended")
+        title = (
+            f"{self.suite} @ {self.host_key}"
+            f" ({', '.join(flags) if flags else 'non-smoke'};"
+            f" references: {self.reference_host})"
+        )
+        rows = [c.format_row() for c in self.checks]
+        if not rows:
+            return f"{title}\n  (no metrics)"
+        table = format_table(["metric", "value", "band", "status"], rows, title=title)
+        tally = ", ".join(f"{n} {status}" for status, n in sorted(self.counts().items()))
+        return f"{table}\n  -> {tally}"
+
+
+def check_result(
+    result: BenchResult,
+    references: Optional[ReferenceTable] = None,
+) -> GateReport:
+    """Check one envelope against the references resolved for its host."""
+    table = DEFAULT_REFERENCES if references is None else references
+    host_key = result.host.key
+    if table.get(host_key):
+        reference_host = host_key
+    elif table.get(WILDCARD):
+        reference_host = WILDCARD
+    else:
+        reference_host = "-"
+    resolved = resolve_references(host_key, table)
+    metrics = result.qualified_metrics()
+    prefix = f"{result.suite}."
+    suite_refs = {
+        name: band for name, band in resolved.items() if name.startswith(prefix)
+    }
+
+    checks: List[MetricCheck] = []
+    for name in sorted(set(suite_refs) | set(metrics)):
+        band = suite_refs.get(name)
+        value = metrics.get(name)
+        if band is None:
+            # Recorded but not gated: raw seconds, counts nobody banded yet.
+            checks.append(MetricCheck(metric=name, status="unreferenced", value=value))
+            continue
+        if result.smoke:
+            checks.append(
+                MetricCheck(metric=name, status="smoke", value=value, band=band)
+            )
+            continue
+        if result.contended and name in CONTENDED_EXEMPT:
+            checks.append(
+                MetricCheck(metric=name, status="contended", value=value, band=band)
+            )
+            continue
+        if value is None:
+            checks.append(MetricCheck(metric=name, status="missing", band=band))
+            continue
+        if in_band(value, band):
+            status = "ok"
+        else:
+            lower, _upper = band_bounds(band)
+            status = "low" if lower is not None and value < lower else "high"
+        checks.append(MetricCheck(metric=name, status=status, value=value, band=band))
+    return GateReport(
+        suite=result.suite,
+        host_key=host_key,
+        smoke=result.smoke,
+        contended=result.contended,
+        reference_host=reference_host,
+        checks=checks,
+    )
+
+
+def gate_results(
+    results: Sequence[BenchResult],
+    references: Optional[ReferenceTable] = None,
+    strict: bool = False,
+) -> tuple:
+    """Check many envelopes; returns ``(reports, exit_code)``.
+
+    Exit code 0 when every report passes, 1 otherwise — the
+    ``python -m repro.sweep diff`` convention.
+    """
+    reports = [check_result(result, references) for result in results]
+    failed = [r for r in reports if not r.passed(strict)]
+    return reports, (1 if failed else 0)

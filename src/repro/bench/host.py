@@ -1,0 +1,115 @@
+"""The shared host fingerprint: who ran a benchmark, and under what load.
+
+Every benchmark script used to probe the machine on its own — an
+``os.environ`` check for smoke mode here, a ``sched_getaffinity`` call
+there, slightly different ``contended`` heuristics everywhere.  This module
+is the single home for all of it:
+
+* :func:`smoke_mode` — the ``REPRO_BENCH_SMOKE`` switch CI flips to shrink
+  workloads and skip wall-clock assertions;
+* :func:`cpu_count` / :func:`contention` — the affinity-aware core count
+  and the shared "can this host even express parallel speedup" probe;
+* :class:`HostFingerprint` — the identity stamped into every benchmark
+  envelope and perf-history record, whose :attr:`~HostFingerprint.key`
+  (``node:machine``, e.g. ``vm:x86_64``) selects the per-host reference
+  bands in :mod:`repro.bench.references`.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+#: Environment variable that switches every benchmark into smoke mode.
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+
+def smoke_mode() -> bool:
+    """True when ``REPRO_BENCH_SMOKE`` requests shrunk, assertion-free runs."""
+    return os.environ.get(SMOKE_ENV, "") not in ("", "0")
+
+
+def cpu_count() -> Optional[int]:
+    """Cores actually available to this process (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count()
+
+
+def contention(jobs: int = 1) -> bool:
+    """Whether wall-clock comparisons on this host are scheduling artefacts.
+
+    A single-core container cannot speed anything up with more workers, and
+    a pool with more workers than cores only adds context switching — on
+    such hosts speedup numbers are recorded for the trajectory but must not
+    gate.  ``jobs`` is the parallelism the benchmark asked for (1 for
+    purely serial comparisons, which still need two cores to time fairly).
+    """
+    cpus = cpu_count()
+    return cpus is None or cpus < 2 or cpus < jobs
+
+
+def host_extra_info(jobs: int = 1) -> Dict[str, Any]:
+    """The ``extra_info`` stamps every benchmark records: smoke/cpus/contended.
+
+    Stamping these on *every* test (not just the parallel ones) is what lets
+    the gate filter correctly — an envelope without a ``contended`` field
+    cannot claim its exemptions.
+    """
+    return {
+        "smoke": smoke_mode(),
+        "cpus": cpu_count(),
+        "contended": contention(jobs),
+    }
+
+
+@dataclass(frozen=True)
+class HostFingerprint:
+    """The identity of the machine a benchmark ran on.
+
+    ``key`` — ``"node:machine"`` — is what the reference tables are keyed
+    by, mirroring ReFrame's ``system:partition`` convention.
+    """
+
+    node: str
+    system: str
+    machine: str
+    python: str
+    cpus: Optional[int]
+
+    @property
+    def key(self) -> str:
+        """The reference-selection key, e.g. ``"vm:x86_64"``."""
+        return f"{self.node}:{self.machine}"
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "node": self.node,
+            "system": self.system,
+            "machine": self.machine,
+            "python": self.python,
+            "cpus": self.cpus,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "HostFingerprint":
+        return cls(
+            node=str(payload.get("node", "")),
+            system=str(payload.get("system", "")),
+            machine=str(payload.get("machine", "")),
+            python=str(payload.get("python", "")),
+            cpus=payload.get("cpus"),
+        )
+
+
+def current_host() -> HostFingerprint:
+    """Fingerprint of the machine this process is running on."""
+    return HostFingerprint(
+        node=platform.node(),
+        system=platform.system(),
+        machine=platform.machine(),
+        python=platform.python_version(),
+        cpus=cpu_count(),
+    )

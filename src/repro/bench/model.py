@@ -1,0 +1,202 @@
+"""The benchmark envelope: one schema-versioned payload for every suite.
+
+The four committed benchmark records (``BENCH_sim.json``,
+``BENCH_pipeline.json``, ``BENCH_analytic.json``, ``BENCH_serve.json``) are
+raw pytest-benchmark dumps — machine info, commit info and a list of
+benchmarks whose interesting numbers live in ``extra_info``.  This module
+unifies them onto one **envelope**:
+
+.. code-block:: json
+
+    {"bench_format": 1, "suite": "sim",
+     "host": {"node": "vm", "machine": "x86_64", "cpus": 1, ...},
+     "smoke": false, "contended": true,
+     "commit": {"id": "...", "time": "...", "branch": "main", "dirty": true},
+     "datetime": "...",
+     "metrics": {"smache_cycles_per_sec.speedup": 5.05, ...}}
+
+:func:`BenchResult.from_payload` is the **compat reader**: it accepts both
+the native envelope and the legacy pytest-benchmark schema, so the committed
+files keep working unmodified.  Metric names are flattened to
+``<benchmark>.<field>`` (with the ``test_bench_`` prefix stripped), and the
+gate layer further qualifies them as ``<suite>.<benchmark>.<field>`` when
+matching references.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.bench.host import HostFingerprint
+
+#: Version tag of the benchmark envelope format.
+BENCH_FORMAT = 1
+
+
+class BenchFormatError(ValueError):
+    """A payload that is neither an envelope nor a pytest-benchmark dump."""
+
+
+def _strip_test_prefix(name: str) -> str:
+    """``test_bench_smache_cycles_per_sec`` → ``smache_cycles_per_sec``."""
+    for prefix in ("test_bench_", "test_"):
+        if name.startswith(prefix):
+            return name[len(prefix):]
+    return name
+
+
+def _suite_of_fullname(fullname: str) -> Optional[str]:
+    """``benchmarks/bench_sim.py::...`` → ``sim`` (None when unrecognised)."""
+    script = fullname.split("::", 1)[0]
+    base = os.path.basename(script)
+    if base.startswith("bench_") and base.endswith(".py"):
+        return base[len("bench_"):-len(".py")]
+    return None
+
+
+def suite_of_path(path: str) -> Optional[str]:
+    """``.../BENCH_ci_sim.json`` → ``sim`` (None when unrecognised)."""
+    base = os.path.basename(os.fspath(path))
+    for prefix in ("BENCH_ci_", "BENCH_"):
+        if base.startswith(prefix) and base.endswith(".json"):
+            return base[len(prefix):-len(".json")]
+    return None
+
+
+@dataclass
+class BenchResult:
+    """One benchmark suite's outcome, in the unified envelope shape."""
+
+    suite: str
+    host: HostFingerprint
+    metrics: Dict[str, float] = field(default_factory=dict)
+    smoke: bool = False
+    contended: Optional[bool] = None
+    commit: Optional[Dict[str, Any]] = None
+    datetime: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    def qualified_metrics(self) -> Dict[str, float]:
+        """Metrics keyed ``<suite>.<benchmark>.<field>`` (what references use)."""
+        return {f"{self.suite}.{name}": value for name, value in self.metrics.items()}
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The native schema-versioned envelope."""
+        return {
+            "bench_format": BENCH_FORMAT,
+            "suite": self.suite,
+            "host": self.host.to_json_dict(),
+            "smoke": self.smoke,
+            "contended": self.contended,
+            "commit": self.commit,
+            "datetime": self.datetime,
+            "metrics": dict(self.metrics),
+        }
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], suite: Optional[str] = None
+    ) -> "BenchResult":
+        """Read a native envelope **or** a legacy pytest-benchmark dump.
+
+        ``suite`` overrides/supplies the suite name (needed for legacy
+        payloads whose benchmark paths don't resolve, e.g. hand-built ones).
+        """
+        if payload.get("bench_format") is not None:
+            if payload["bench_format"] > BENCH_FORMAT:
+                raise BenchFormatError(
+                    f"envelope format {payload['bench_format']} is newer than "
+                    f"this reader (format {BENCH_FORMAT})"
+                )
+            return cls(
+                suite=suite or payload.get("suite", ""),
+                host=HostFingerprint.from_json_dict(payload.get("host") or {}),
+                metrics={
+                    str(k): v
+                    for k, v in (payload.get("metrics") or {}).items()
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                },
+                smoke=bool(payload.get("smoke", False)),
+                contended=payload.get("contended"),
+                commit=payload.get("commit"),
+                datetime=payload.get("datetime"),
+            )
+        if "benchmarks" in payload and "machine_info" in payload:
+            return cls._from_pytest_benchmark(payload, suite=suite)
+        raise BenchFormatError(
+            "payload is neither a bench envelope (no 'bench_format') nor a "
+            "pytest-benchmark record (no 'benchmarks'/'machine_info')"
+        )
+
+    @classmethod
+    def _from_pytest_benchmark(
+        cls, payload: Dict[str, Any], suite: Optional[str] = None
+    ) -> "BenchResult":
+        machine = payload.get("machine_info") or {}
+        cpu = machine.get("cpu") or {}
+        host = HostFingerprint(
+            node=str(machine.get("node", "")),
+            system=str(machine.get("system", "")),
+            machine=str(machine.get("machine", "")),
+            python=str(machine.get("python_version", "")),
+            cpus=cpu.get("count"),
+        )
+        metrics: Dict[str, float] = {}
+        smoke = False
+        contended: Optional[bool] = None
+        for bench in payload.get("benchmarks") or []:
+            name = _strip_test_prefix(bench.get("name", ""))
+            if suite is None:
+                suite = _suite_of_fullname(bench.get("fullname", ""))
+            extra = bench.get("extra_info") or {}
+            # The run flags are hoisted to the envelope level: one smoke
+            # benchmark marks the whole payload (CI sets the env var for the
+            # entire run), and any stamped contention labels the host.
+            if extra.get("smoke"):
+                smoke = True
+            if "contended" in extra:
+                contended = bool(contended) or bool(extra["contended"])
+            for key, value in extra.items():
+                if key in ("smoke", "contended"):
+                    continue
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                metrics[f"{name}.{key}"] = value
+            stats = bench.get("stats") or {}
+            if isinstance(stats.get("min"), (int, float)):
+                metrics[f"{name}.seconds"] = stats["min"]
+        commit = payload.get("commit_info")
+        if commit is not None:
+            commit = {
+                "id": commit.get("id"),
+                "time": commit.get("time"),
+                "branch": commit.get("branch"),
+                "dirty": commit.get("dirty"),
+            }
+        return cls(
+            suite=suite or "",
+            host=host,
+            metrics=metrics,
+            smoke=smoke,
+            contended=contended,
+            commit=commit,
+            datetime=payload.get("datetime"),
+        )
+
+
+def load_result(path: str, suite: Optional[str] = None) -> BenchResult:
+    """Load a benchmark JSON file (envelope or pytest-benchmark) from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if suite is None:
+        suite = suite_of_path(path)
+    result = BenchResult.from_payload(payload, suite=suite)
+    if not result.suite:
+        raise BenchFormatError(
+            f"could not infer the suite of {path!r}; pass suite= explicitly"
+        )
+    return result

@@ -1,0 +1,180 @@
+"""Declarative per-host performance references (the ReFrame idiom).
+
+A reference table maps a host key (``"node:machine"``, see
+:attr:`repro.bench.host.HostFingerprint.key`) to a dict of metric bands::
+
+    {
+        "vm:x86_64": {
+            "sim.smache_cycles_per_sec.speedup": (5.0, -0.5, None, "x"),
+            ...
+        },
+        "*": {  # wildcard: any host without its own entry
+            "sim.smache_cycles_per_sec.speedup": (3.0, -0.35, None, "x"),
+        },
+    }
+
+Each band is ``(ref, lo_frac, hi_frac, unit)`` — exactly ReFrame's
+convention: the measured value must lie within ``[ref * (1 + lo_frac),
+ref * (1 + hi_frac)]``; ``None`` on either side means unbounded.  So
+``(5.0, -0.5, None, "x")`` reads "at least half the reference speedup,
+no upper limit", and ``(240, 0, 0, "points")`` is an exact-match band.
+
+Resolution is **per metric**: a host's own entry wins, and any metric it
+does not mention falls back to the wildcard — a new host gets the generic
+bands immediately and can pin tighter ones over time.
+
+The default table below covers the four committed baselines
+(``BENCH_*.json``, recorded on the 1-core ``vm:x86_64`` container).
+Wall-clock-absolute numbers (raw seconds) are deliberately *not*
+referenced — only ratios, rates measured in one process, and exact counts,
+which survive runner noise.  Metrics in :data:`CONTENDED_EXEMPT` are only
+gated on uncontended hosts (see :mod:`repro.bench.host`): a process pool
+cannot beat the serial runner on a single core, so its "speedup" says
+nothing there.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+#: One reference band: (reference value, lo fraction, hi fraction, unit).
+MetricBand = Tuple[float, Optional[float], Optional[float], str]
+
+#: A full reference table: host key (or "*") -> metric name -> band.
+ReferenceTable = Mapping[str, Mapping[str, MetricBand]]
+
+#: The wildcard host key.
+WILDCARD = "*"
+
+#: Metrics that compare wall-clock across process counts: meaningless on a
+#: contended host (fewer cores than workers), so the gate skips them there.
+CONTENDED_EXEMPT = frozenset({
+    "pipeline.parallel_campaign.parallel_speedup",
+})
+
+#: Reference bands for the committed baselines plus conservative wildcard
+#: fallbacks for unknown hosts.  Bands on the recorded host are centred on
+#: the committed ``BENCH_*.json`` numbers; wildcard bands restate the
+#: benchmarks' own minimum acceptance claims.
+DEFAULT_REFERENCES: ReferenceTable = {
+    "vm:x86_64": {
+        # --- bench_sim.py (BENCH_sim.json: 5.05x / 4.09x / 1.016 / 1512x) ---
+        "sim.smache_cycles_per_sec.speedup": (5.0, -0.5, None, "x"),
+        "sim.smache_cycles_per_sec.skip_ratio": (0.94, -0.05, 0.05, "frac"),
+        "sim.baseline_cycles_per_sec.speedup": (4.0, -0.5, None, "x"),
+        "sim.default_timing_overhead.overhead_ratio": (1.0, None, 0.5, "ratio"),
+        "sim.reference_cells_per_sec.speedup": (1500.0, -0.8, None, "x"),
+        # --- bench_pipeline.py (BENCH_pipeline.json: 240-point campaign) ---
+        "pipeline.parallel_campaign.resumed_points": (240.0, 0.0, 0.0, "points"),
+        # --- bench_analytic.py (BENCH_analytic.json: 24.1x / 11.6x warm) ---
+        "analytic.scalar_vs_vectorized.warm_speedup": (24.0, -0.6, None, "x"),
+        "analytic.scalar_vs_vectorized.reprice_new_knobs_speedup": (
+            11.6, -0.6, None, "x",
+        ),
+        # --- bench_serve.py (BENCH_serve.json: 2.13x serial / 0.8 memo) ---
+        "serve.batched_vs_scalar_serving.speedup_vs_serial_scalar": (
+            2.1, -0.5, None, "x",
+        ),
+        "serve.batched_vs_scalar_serving.memo_hit_rate": (0.8, -0.05, 0.05, "frac"),
+    },
+    WILDCARD: {
+        # The asserted minimum claims of each benchmark, as loose bands any
+        # healthy host must clear (see the assertions in benchmarks/*.py).
+        "sim.smache_cycles_per_sec.speedup": (3.0, -0.35, None, "x"),
+        "sim.baseline_cycles_per_sec.speedup": (2.0, -0.35, None, "x"),
+        "sim.default_timing_overhead.overhead_ratio": (1.0, None, 0.6, "ratio"),
+        "sim.reference_cells_per_sec.speedup": (10.0, -0.5, None, "x"),
+        "pipeline.parallel_campaign.parallel_speedup": (1.1, -0.1, None, "x"),
+        "analytic.scalar_vs_vectorized.warm_speedup": (20.0, -0.25, None, "x"),
+        "serve.batched_vs_scalar_serving.speedup_vs_serial_scalar": (
+            5.0, -0.3, None, "x",
+        ),
+    },
+}
+
+
+def band_bounds(band: MetricBand) -> Tuple[Optional[float], Optional[float]]:
+    """The absolute ``(lower, upper)`` bounds of a reference band."""
+    ref, lo_frac, hi_frac, _unit = band
+    lower = None if lo_frac is None else ref * (1.0 + lo_frac)
+    upper = None if hi_frac is None else ref * (1.0 + hi_frac)
+    return lower, upper
+
+
+def in_band(value: float, band: MetricBand) -> bool:
+    """Whether ``value`` lies inside the band's tolerance."""
+    lower, upper = band_bounds(band)
+    if lower is not None and value < lower:
+        return False
+    if upper is not None and value > upper:
+        return False
+    return True
+
+
+def format_band(band: MetricBand) -> str:
+    """``[2.5, -] x`` — the absolute band, for reports."""
+    lower, upper = band_bounds(band)
+    lo = "-" if lower is None else f"{lower:g}"
+    hi = "-" if upper is None else f"{upper:g}"
+    unit = band[3]
+    return f"[{lo}, {hi}] {unit}".rstrip()
+
+
+def resolve_references(
+    host_key: str, references: ReferenceTable
+) -> Dict[str, MetricBand]:
+    """The effective metric bands for one host.
+
+    Per-metric precedence: the host's own entry wins; metrics it does not
+    mention fall back to the wildcard entry.  A host with no entry of its
+    own gets the wildcard table verbatim.
+    """
+    resolved: Dict[str, MetricBand] = {}
+    for name, band in (references.get(WILDCARD) or {}).items():
+        resolved[name] = _normalize_band(name, band)
+    for name, band in (references.get(host_key) or {}).items():
+        resolved[name] = _normalize_band(name, band)
+    return resolved
+
+
+def _normalize_band(name: str, band: Sequence) -> MetricBand:
+    """Validate and normalise one band (tuples from Python, lists from JSON)."""
+    if not isinstance(band, (tuple, list)) or len(band) != 4:
+        raise ValueError(
+            f"reference {name!r} must be (ref, lo_frac, hi_frac, unit), got {band!r}"
+        )
+    ref, lo, hi, unit = band
+    if not isinstance(ref, (int, float)) or isinstance(ref, bool):
+        raise ValueError(f"reference {name!r} has a non-numeric ref {ref!r}")
+    for frac in (lo, hi):
+        if frac is not None and (
+            not isinstance(frac, (int, float)) or isinstance(frac, bool)
+        ):
+            raise ValueError(f"reference {name!r} has a non-numeric bound {frac!r}")
+    return (float(ref), lo, hi, str(unit))
+
+
+def load_references(path: str) -> ReferenceTable:
+    """Load a reference table from JSON (bands as 4-element lists).
+
+    The file mirrors the Python structure::
+
+        {"vm:x86_64": {"sim.smache_cycles_per_sec.speedup": [5.0, -0.5, null, "x"]},
+         "*": {...}}
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ValueError(f"reference file {path!r} must hold a JSON object")
+    table: Dict[str, Dict[str, MetricBand]] = {}
+    for host_key, metrics in payload.items():
+        if not isinstance(metrics, dict):
+            raise ValueError(
+                f"reference file {path!r}: host {host_key!r} must map metrics "
+                "to [ref, lo, hi, unit] bands"
+            )
+        table[host_key] = {
+            name: _normalize_band(name, band) for name, band in metrics.items()
+        }
+    return table

@@ -1,0 +1,182 @@
+"""The benchmark-suite registry and the one harness that runs them.
+
+Each of the four benchmark scripts under ``benchmarks/`` is registered here
+as a :class:`BenchSpec`; ``python -m repro.bench run`` drives any subset of
+them through one pytest invocation per suite (the same command CI and the
+scripts' own ``__main__`` blocks use), loads the resulting JSON through the
+compat reader, and hands back unified envelopes ready for recording and
+gating.
+
+The scripts stay runnable standalone — ``python benchmarks/bench_sim.py``
+— through :func:`standalone_main`, which owns the flags they all share
+(``--benchmark-json``, ``--smoke``, ``--jobs``) so the per-script
+boilerplate collapses to two lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.host import SMOKE_ENV
+from repro.bench.model import BenchResult, load_result
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark suite."""
+
+    name: str  #: suite key ("sim") — also the metric-name prefix
+    script: str  #: path relative to the repo root
+    default_json: str  #: where the standalone script records by default
+    description: str
+
+
+#: The registered suites, in canonical run order.
+SUITES: Dict[str, BenchSpec] = {
+    spec.name: spec
+    for spec in (
+        BenchSpec(
+            name="sim",
+            script="benchmarks/bench_sim.py",
+            default_json="BENCH_sim.json",
+            description="fast simulation core: cycles/sec, reference executor",
+        ),
+        BenchSpec(
+            name="pipeline",
+            script="benchmarks/bench_pipeline.py",
+            default_json="BENCH_pipeline.json",
+            description="compilation pipeline + parallel campaign engine",
+        ),
+        BenchSpec(
+            name="analytic",
+            script="benchmarks/bench_analytic.py",
+            default_json="BENCH_analytic.json",
+            description="vectorized analytic pricing vs the scalar loop",
+        ),
+        BenchSpec(
+            name="serve",
+            script="benchmarks/bench_serve.py",
+            default_json="BENCH_serve.json",
+            description="micro-batched evaluation service throughput",
+        ),
+    )
+}
+
+
+def repo_root() -> str:
+    """The checkout root (the parent of ``src/``), for script resolution."""
+    here = os.path.dirname(os.path.abspath(__file__))  # src/repro/bench
+    return os.path.dirname(os.path.dirname(os.path.dirname(here)))
+
+
+def find_script(spec: BenchSpec, cwd: Optional[str] = None) -> str:
+    """Resolve a suite's script against the cwd, then the checkout root."""
+    base = os.path.abspath(cwd or os.getcwd())
+    candidate = os.path.join(base, spec.script)
+    if os.path.exists(candidate):
+        return candidate
+    candidate = os.path.join(repo_root(), spec.script)
+    if os.path.exists(candidate):
+        return candidate
+    raise FileNotFoundError(
+        f"cannot find {spec.script!r} for suite {spec.name!r} (looked under "
+        f"{base!r} and {repo_root()!r})"
+    )
+
+
+def run_command(
+    spec: BenchSpec, json_path: str, cwd: Optional[str] = None
+) -> List[str]:
+    """The subprocess argv ``run_suite`` executes (split out for tests)."""
+    script = find_script(spec, cwd=cwd)
+    return [
+        sys.executable,
+        "-m",
+        "pytest",
+        script,
+        "--benchmark-only",
+        "-q",
+        "-s",
+        f"--benchmark-json={json_path}",
+    ]
+
+
+def run_suite(
+    spec: BenchSpec,
+    json_path: str,
+    smoke: bool = False,
+    cwd: Optional[str] = None,
+    env: Optional[Dict[str, str]] = None,
+) -> BenchResult:
+    """Run one suite through pytest, record ``json_path``, load the envelope.
+
+    Raises :class:`BenchRunError` when the benchmark process fails — its
+    assertions are part of the gate surface, so a red suite must not be
+    silently recorded as green.
+    """
+    merged = dict(os.environ)
+    if env:
+        merged.update(env)
+    if smoke:
+        merged[SMOKE_ENV] = "1"
+    command = run_command(spec, json_path, cwd=cwd)
+    proc = subprocess.run(command, cwd=cwd or os.getcwd(), env=merged)
+    if proc.returncode != 0:
+        raise BenchRunError(
+            f"benchmark suite {spec.name!r} failed with exit code "
+            f"{proc.returncode} (command: {' '.join(command)})"
+        )
+    return load_result(json_path, suite=spec.name)
+
+
+class BenchRunError(RuntimeError):
+    """A benchmark suite subprocess exited non-zero."""
+
+
+def standalone_main(
+    suite: str,
+    argv: Optional[Sequence[str]] = None,
+    description: Optional[str] = None,
+) -> int:
+    """The shared ``__main__`` of every benchmark script.
+
+    Parses the flags the scripts always supported (``--benchmark-json``,
+    plus ``--smoke`` and ``--jobs``) and invokes pytest in-process on the
+    calling script, exactly as before the harness existed.
+    """
+    spec = SUITES[suite]
+    parser = argparse.ArgumentParser(description=description or spec.description)
+    parser.add_argument(
+        "--benchmark-json",
+        default=spec.default_json,
+        help=f"where to write the benchmark record (default: {spec.default_json})",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink workloads and skip wall-clock assertions (CI mode)",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="workers for parallel benchmarks (default: the suite's own)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        os.environ[SMOKE_ENV] = "1"
+    if args.jobs is not None:
+        os.environ["REPRO_BENCH_JOBS"] = str(args.jobs)
+
+    import pytest
+
+    script = find_script(spec)
+    return pytest.main(
+        [script, "--benchmark-only", "-s", f"--benchmark-json={args.benchmark_json}"]
+    )

@@ -1,0 +1,200 @@
+"""Trend reports: metric trajectories and per-worker campaign throughput.
+
+Two data sources feed the ``python -m repro.bench trend`` subcommand:
+
+* the **perf history** (:mod:`repro.bench.history`): every recorded value
+  of every metric, oldest first, rendered as one table per metric with the
+  commit, host and delta-vs-previous columns a reviewer needs to spot a
+  slow drift that no single gate run would catch;
+* campaign **event logs** (:mod:`repro.sweep.eventlog`): replaying the
+  persisted stream through :class:`CampaignReplay` recovers each worker's
+  own begin/finish stamps (``PointRecord.meta``), from which the per-worker
+  points/sec of a sweep is mined — the ground truth behind any
+  campaign-level speedup number in the history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.history import HistoryRecord
+from repro.sweep.eventlog import CampaignReplay
+from repro.sweep.events import PointCompleted, PointStarted
+from repro.utils.tables import format_table
+
+
+# --------------------------------------------------------------------------- #
+# metric trajectories from the history store
+# --------------------------------------------------------------------------- #
+def metric_names(
+    records: Sequence[HistoryRecord], contains: Optional[str] = None
+) -> List[str]:
+    """Every qualified metric name in the records, sorted and filtered."""
+    names = {
+        f"{record.suite}.{name}"
+        for record in records
+        for name in record.metrics
+    }
+    if contains:
+        names = {name for name in names if contains in name}
+    return sorted(names)
+
+
+def metric_series(records: Sequence[HistoryRecord], metric: str) -> List[tuple]:
+    """``(record, value)`` pairs for one qualified metric, oldest first."""
+    series = []
+    for record in records:
+        prefix = f"{record.suite}."
+        if not metric.startswith(prefix):
+            continue
+        value = record.metrics.get(metric[len(prefix):])
+        if value is not None:
+            series.append((record, value))
+    return series
+
+
+def format_metric_trend(records: Sequence[HistoryRecord], metric: str) -> str:
+    """One per-metric history table (commit, host, flags, value, delta)."""
+    series = metric_series(records, metric)
+    if not series:
+        return f"{metric}: no recorded values"
+    rows = []
+    previous: Optional[float] = None
+    for record, value in series:
+        commit = (record.commit_id or "-")[:10]
+        flags = []
+        if record.smoke:
+            flags.append("smoke")
+        if record.contended:
+            flags.append("contended")
+        if previous in (None, 0):
+            delta = "-"
+        else:
+            delta = f"{100.0 * (value - previous) / abs(previous):+.1f}%"
+        rows.append(
+            [
+                record.datetime or "-",
+                commit,
+                record.host_key,
+                ",".join(flags) or "-",
+                value,
+                delta,
+            ]
+        )
+        previous = value
+    return format_table(
+        ["recorded", "commit", "host", "flags", "value", "delta"],
+        rows,
+        title=metric,
+    )
+
+
+def format_trend_report(
+    records: Sequence[HistoryRecord],
+    contains: Optional[str] = None,
+    max_metrics: Optional[int] = None,
+) -> str:
+    """Tables for every (filtered) metric, plus a coverage summary line."""
+    if not records:
+        return "perf history is empty"
+    names = metric_names(records, contains=contains)
+    shown = names if max_metrics is None else names[:max_metrics]
+    parts = [format_metric_trend(records, name) for name in shown]
+    summary = (
+        f"{len(records)} record(s), {len(names)} metric(s)"
+        + (f", showing {len(shown)}" if len(shown) != len(names) else "")
+    )
+    return "\n\n".join(parts + [summary])
+
+
+# --------------------------------------------------------------------------- #
+# per-worker throughput mined from campaign event logs
+# --------------------------------------------------------------------------- #
+@dataclass
+class WorkerThroughput:
+    """One worker's mined campaign activity."""
+
+    worker: int
+    points: int = 0
+    first_ts: Optional[float] = None  #: earliest started_ts stamped
+    last_ts: Optional[float] = None  #: latest finished_ts stamped
+
+    @property
+    def span_seconds(self) -> Optional[float]:
+        if self.first_ts is None or self.last_ts is None:
+            return None
+        return max(self.last_ts - self.first_ts, 0.0)
+
+    @property
+    def points_per_second(self) -> Optional[float]:
+        span = self.span_seconds
+        if span is None or span <= 0:
+            return None
+        return self.points / span
+
+
+def mine_worker_throughput(path: str) -> Dict[int, WorkerThroughput]:
+    """Per-worker throughput from one event log's worker-stamped records.
+
+    Completions carry the evaluating process's own begin/finish timestamps
+    in ``PointRecord.meta`` (see :mod:`repro.sweep.runners`); starts fill
+    in workers whose completions never landed (a killed campaign).
+    """
+    workers: Dict[int, WorkerThroughput] = {}
+    for event in CampaignReplay(path).events():
+        if isinstance(event, PointCompleted):
+            meta = event.record.meta or {}
+            worker = meta.get("worker")
+            if worker is None:
+                continue
+            stats = workers.setdefault(worker, WorkerThroughput(worker=worker))
+            stats.points += 1
+            started = meta.get("started_ts")
+            finished = meta.get("finished_ts")
+            if started is not None:
+                stats.first_ts = (
+                    started if stats.first_ts is None
+                    else min(stats.first_ts, started)
+                )
+            if finished is not None:
+                stats.last_ts = (
+                    finished if stats.last_ts is None
+                    else max(stats.last_ts, finished)
+                )
+        elif isinstance(event, PointStarted) and event.worker is not None:
+            stats = workers.setdefault(
+                event.worker, WorkerThroughput(worker=event.worker)
+            )
+            if event.ts is not None:
+                stats.first_ts = (
+                    event.ts if stats.first_ts is None
+                    else min(stats.first_ts, event.ts)
+                )
+    return workers
+
+
+def format_worker_report(path: str) -> str:
+    """The per-worker table for one event log."""
+    workers = mine_worker_throughput(path)
+    if not workers:
+        return f"{path}: no worker-stamped events"
+    rows = []
+    total_points = 0
+    for worker in sorted(workers):
+        stats = workers[worker]
+        total_points += stats.points
+        rate = stats.points_per_second
+        span = stats.span_seconds
+        rows.append(
+            [
+                worker,
+                stats.points,
+                "-" if span is None else f"{span:.2f}s",
+                "-" if rate is None else f"{rate:.2f}/s",
+            ]
+        )
+    table = format_table(
+        ["worker", "points", "span", "rate"], rows, title=path
+    )
+    return f"{table}\n  -> {total_points} point(s) across {len(workers)} worker(s)"

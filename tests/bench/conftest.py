@@ -1,0 +1,11 @@
+"""Fixtures for the repro.bench test-suite."""
+
+import pathlib
+
+import pytest
+
+
+@pytest.fixture
+def repo_root() -> pathlib.Path:
+    """The checkout root, where the committed BENCH_*.json baselines live."""
+    return pathlib.Path(__file__).resolve().parents[2]

@@ -1,0 +1,156 @@
+"""The ``python -m repro.bench`` CLI and the trend/worker-mining reports."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.history import PerfHistory
+from repro.bench.model import load_result
+from repro.bench.trend import (
+    format_metric_trend,
+    format_trend_report,
+    format_worker_report,
+    mine_worker_throughput,
+)
+
+
+@pytest.fixture
+def baselines(repo_root):
+    return [str(repo_root / f"BENCH_{s}.json")
+            for s in ("sim", "pipeline", "analytic", "serve")]
+
+
+class TestGateCommand:
+    def test_committed_baselines_pass(self, baselines, capsys):
+        assert main(["gate", *baselines]) == 0
+        out = capsys.readouterr().out
+        assert "gate: PASS (4 suite report(s))" in out
+
+    def test_default_files_resolve_in_cwd(self, repo_root, monkeypatch, capsys):
+        monkeypatch.chdir(repo_root)
+        assert main(["gate"]) == 0
+
+    def test_synthetic_regression_fails(self, repo_root, tmp_path, capsys):
+        payload = json.loads((repo_root / "BENCH_sim.json").read_text())
+        for bench in payload["benchmarks"]:
+            info = bench.get("extra_info") or {}
+            if "speedup" in info:
+                info["speedup"] = 0.01  # tank every tracked speedup
+        regressed = tmp_path / "BENCH_sim.json"
+        regressed.write_text(json.dumps(payload))
+        assert main(["gate", str(regressed)]) == 1
+        out = capsys.readouterr().out
+        assert "low" in out and "gate: FAIL" in out
+
+    def test_history_gate_uses_latest_record(self, repo_root, tmp_path, capsys):
+        hist = str(tmp_path / "hist.jsonl")
+        history = PerfHistory(hist)
+        good = load_result(str(repo_root / "BENCH_sim.json"))
+        history.append(good, recorded_ts=1.0)
+        bad = load_result(str(repo_root / "BENCH_sim.json"))
+        bad.metrics["smache_cycles_per_sec.speedup"] = 0.01
+        history.append(bad, recorded_ts=2.0)
+        assert main(["gate", "--history", hist]) == 1
+        # a newer in-band record heals the gate
+        history.append(good, recorded_ts=3.0)
+        assert main(["gate", "--history", hist]) == 0
+
+    def test_smoke_history_never_gates(self, repo_root, tmp_path, capsys):
+        hist = str(tmp_path / "hist.jsonl")
+        bad = load_result(str(repo_root / "BENCH_sim.json"))
+        bad.metrics["smache_cycles_per_sec.speedup"] = 0.01
+        bad.smoke = True
+        PerfHistory(hist).append(bad)
+        assert main(["gate", "--history", hist]) == 0
+        assert "smoke" in capsys.readouterr().out
+
+    def test_empty_history_fails(self, tmp_path, capsys):
+        assert main(["gate", "--history", str(tmp_path / "none.jsonl")]) == 1
+
+    def test_custom_references_file(self, baselines, tmp_path, capsys):
+        refs = tmp_path / "refs.json"
+        refs.write_text(json.dumps(
+            {"*": {"sim.smache_cycles_per_sec.speedup": [1e6, -0.1, None, "x"]}}
+        ))
+        assert main(["gate", baselines[0], "--references", str(refs)]) == 1
+
+    def test_strict_flags_missing_metrics(self, repo_root, tmp_path, capsys):
+        res = load_result(str(repo_root / "BENCH_sim.json"))
+        del res.metrics["smache_cycles_per_sec.speedup"]
+        path = tmp_path / "BENCH_sim.json"
+        path.write_text(json.dumps(res.to_payload()))
+        assert main(["gate", str(path)]) == 0
+        assert main(["gate", str(path), "--strict"]) == 1
+
+
+class TestRecordCommand:
+    def test_record_then_trend(self, baselines, tmp_path, capsys):
+        hist = str(tmp_path / "hist.jsonl")
+        assert main(["record", *baselines, "--history", hist]) == 0
+        out = capsys.readouterr().out
+        assert out.count("recorded") == 4
+        assert main(["trend", "--history", hist, "--metric", "warm_speedup"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic.scalar_vs_vectorized.warm_speedup" in out
+
+    def test_unrecognized_filename_errors(self, tmp_path):
+        path = tmp_path / "whatever.json"
+        path.write_text("{}")
+        with pytest.raises(SystemExit):
+            main(["record", str(path), "--history", str(tmp_path / "h.jsonl")])
+
+
+class TestTrendReport:
+    def test_deltas_between_records(self, repo_root, tmp_path):
+        hist = PerfHistory(str(tmp_path / "hist.jsonl"))
+        first = load_result(str(repo_root / "BENCH_sim.json"))
+        first.metrics["smache_cycles_per_sec.speedup"] = 4.0
+        hist.append(first, recorded_ts=1.0)
+        second = load_result(str(repo_root / "BENCH_sim.json"))
+        second.metrics["smache_cycles_per_sec.speedup"] = 6.0
+        hist.append(second, recorded_ts=2.0)
+        text = format_metric_trend(
+            hist.records(), "sim.smache_cycles_per_sec.speedup"
+        )
+        assert "+50.0%" in text
+
+    def test_empty_history_message(self):
+        assert format_trend_report([]) == "perf history is empty"
+
+    def test_cli_requires_an_input(self):
+        with pytest.raises(SystemExit):
+            main(["trend"])
+
+
+class TestWorkerMining:
+    @pytest.fixture
+    def event_log(self, tmp_path):
+        """A real (tiny) campaign persisted with worker attribution."""
+        from repro.api import Workbench
+        from repro.sweep.spec import smoke_spec
+
+        path = str(tmp_path / "campaign.events.jsonl")
+        Workbench(jobs=2).run(smoke_spec(iterations=1), event_log=path)
+        return path
+
+    def test_mined_points_cover_the_campaign(self, event_log):
+        workers = mine_worker_throughput(event_log)
+        assert workers, "a pool campaign must attribute work to workers"
+        total = sum(w.points for w in workers.values())
+        assert total == 18  # smoke_spec: 3 grids x 3 reaches x 2 modes
+        for stats in workers.values():
+            if stats.points and stats.span_seconds:
+                assert stats.points_per_second > 0
+
+    def test_worker_report_renders(self, event_log, capsys):
+        text = format_worker_report(event_log)
+        assert "worker" in text and "point(s) across" in text
+        assert main(["trend", "--events", event_log]) == 0
+        assert "worker" in capsys.readouterr().out
+
+    def test_missing_worker_stamps_degrade_gracefully(self, tmp_path):
+        path = tmp_path / "empty.events.jsonl"
+        path.write_text('{"kind": "header", "log": "events", "format": 1}\n')
+        assert mine_worker_throughput(str(path)) == {}
+        assert "no worker-stamped events" in format_worker_report(str(path))

@@ -1,0 +1,110 @@
+"""Perf-history store: append/read round-trips and tolerant parsing."""
+
+import json
+
+import pytest
+
+from repro.bench.history import HISTORY_FORMAT, PerfHistory, PerfHistoryWarning
+from repro.bench.host import HostFingerprint
+from repro.bench.model import BenchResult
+
+
+def result(suite="sim", node="box", smoke=False, **metrics):
+    return BenchResult(
+        suite=suite,
+        host=HostFingerprint(
+            node=node, system="Linux", machine="x86_64", python="3.11.0", cpus=4
+        ),
+        metrics=metrics or {"widget.speedup": 4.0},
+        smoke=smoke,
+        commit={"id": "abc123", "branch": "main", "dirty": False},
+        datetime="2026-08-08T00:00:00+00:00",
+    )
+
+
+class TestAppendRead:
+    def test_roundtrip(self, tmp_path):
+        history = PerfHistory(str(tmp_path / "hist.jsonl"))
+        history.append(result(), recorded_ts=1.0)
+        history.append(result(suite="serve"), recorded_ts=2.0)
+        records = history.records()
+        assert [r.suite for r in records] == ["sim", "serve"]
+        assert records[0].metrics == {"widget.speedup": 4.0}
+        assert records[0].commit_id == "abc123"
+        assert records[0].host_key == "box:x86_64"
+        assert records[0].to_result().qualified_metrics() == {
+            "sim.widget.speedup": 4.0
+        }
+
+    def test_header_written_once(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        history = PerfHistory(str(path))
+        history.append(result())
+        history.append(result())
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header == {
+            "kind": "header", "log": "perf-history", "format": HISTORY_FORMAT,
+        }
+        assert sum(1 for l in lines if '"header"' in l) == 1
+
+    def test_filters(self, tmp_path):
+        history = PerfHistory(str(tmp_path / "hist.jsonl"))
+        history.append(result(suite="sim"))
+        history.append(result(suite="serve", node="other"))
+        history.append(result(suite="sim", smoke=True))
+        assert len(history.records(suite="sim")) == 2
+        assert len(history.records(suite="sim", include_smoke=False)) == 1
+        assert len(history.records(host_key="other:x86_64")) == 1
+        assert history.suites() == ["serve", "sim"]
+
+    def test_latest_per_suite_and_host(self, tmp_path):
+        history = PerfHistory(str(tmp_path / "hist.jsonl"))
+        history.append(result(**{"widget.speedup": 4.0}))
+        history.append(result(**{"widget.speedup": 5.0}))
+        history.append(result(suite="serve"))
+        latest = history.latest()
+        assert len(latest) == 2
+        by_suite = {r.suite: r for r in latest}
+        assert by_suite["sim"].metrics["widget.speedup"] == 5.0
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert PerfHistory(str(tmp_path / "nope.jsonl")).records() == []
+
+
+class TestTolerance:
+    def test_malformed_lines_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        history = PerfHistory(str(path))
+        history.append(result())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "perf", "suite": "sim"\n')  # torn JSON
+            fh.write('{"kind": "perf", "metrics": {"x": 1}}\n')  # no suite
+            fh.write('{"kind": "mystery"}\n')  # unknown kind
+        history.append(result(suite="serve"))
+        with pytest.warns(PerfHistoryWarning):
+            records = history.records()
+        assert [r.suite for r in records] == ["sim", "serve"]
+        assert history.dropped_lines == 3
+
+    def test_torn_tail_is_newline_terminated_on_append(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        history = PerfHistory(str(path))
+        history.append(result())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "perf", "suite": "si')  # killed mid-write
+        with pytest.warns(PerfHistoryWarning):
+            assert len(history.records()) == 1
+        history.append(result(suite="serve"))
+        with pytest.warns(PerfHistoryWarning):
+            records = history.records()
+        assert [r.suite for r in records] == ["sim", "serve"]
+
+    def test_commit_defaults_to_git_of_cwd(self, tmp_path):
+        # The repo this test runs in is a git checkout, so appending an
+        # envelope with no commit info picks up a real commit id.
+        history = PerfHistory(str(tmp_path / "hist.jsonl"))
+        bare = result()
+        bare.commit = None
+        record = history.append(bare)
+        assert record.commit is None or "id" in record.commit
