@@ -38,6 +38,7 @@ from dataclasses import replace
 from typing import Any, List, Optional, Sequence, Union
 
 from repro.core.boundary import BoundarySpec
+from repro.faults.policy import RetryPolicy
 from repro.core.config import SmacheConfig
 from repro.core.partition import StreamBufferMode
 from repro.core.stencil import StencilShape
@@ -190,6 +191,8 @@ class SweepBuilder:
         self._chunksize: Optional[int] = None
         self._observers: List[Any] = []
         self._event_log: Optional[Union[str, EventLogObserver]] = None
+        self._retry_policy: Optional[RetryPolicy] = None
+        self._retry_failed: Optional[bool] = None
 
     # ------------------------------------------------------------------ #
     def spec(self) -> SweepSpec:
@@ -230,6 +233,27 @@ class SweepBuilder:
         )
         return self
 
+    def with_retry_policy(
+        self, policy: Optional[RetryPolicy] = None, **kwargs
+    ) -> "SweepBuilder":
+        """Run the campaign fault-tolerantly under a retry policy.
+
+        Pass a prepared :class:`~repro.faults.policy.RetryPolicy`, or keyword
+        knobs to build one (``max_attempts=5``, ``deadline_s=30.0``, ...).
+        Failed attempts are retried with deterministic backoff, stragglers
+        re-issued, crashed worker pools respawned, and points that exhaust
+        the budget recorded as failed instead of aborting the campaign.
+        """
+        if policy is not None and kwargs:
+            raise TypeError("pass either a RetryPolicy or keyword knobs, not both")
+        self._retry_policy = policy if policy is not None else RetryPolicy(**kwargs)
+        return self
+
+    def retry_failed(self, retry: bool = True) -> "SweepBuilder":
+        """Re-evaluate points a previous session recorded as permanently failed."""
+        self._retry_failed = retry
+        return self
+
     def runner(self, runner: Runner) -> "SweepBuilder":
         """Use an explicit executor (overrides jobs)."""
         self._runner = runner
@@ -260,6 +284,8 @@ class SweepBuilder:
             chunksize=self._chunksize,
             observers=self._observers,
             event_log=self._event_log,
+            retry_policy=self._retry_policy,
+            retry_failed=self._retry_failed,
         )
 
 
@@ -489,6 +515,8 @@ class Workbench:
         observers: Sequence[Any] = (),
         progress: bool = False,
         event_log: Optional[Union[str, EventLogObserver]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_failed: Optional[bool] = None,
     ) -> CampaignResult:
         """Run (or resume) a campaign through the event-streaming engine.
 
@@ -510,6 +538,12 @@ class Workbench:
             runner = runner if runner is not None else builder._runner
             chunksize = chunksize if chunksize is not None else builder._chunksize
             event_log = event_log if event_log is not None else builder._event_log
+            retry_policy = (
+                retry_policy if retry_policy is not None else builder._retry_policy
+            )
+            retry_failed = (
+                retry_failed if retry_failed is not None else builder._retry_failed
+            )
             extra_observers = list(builder._observers)
             spec = builder.spec()
         attached = list(self.observers) + extra_observers + list(observers)
@@ -524,6 +558,8 @@ class Workbench:
             chunksize=chunksize if chunksize is not None else self.chunksize,
             observers=attached,
             event_log=event_log,
+            retry_policy=retry_policy,
+            retry_failed=bool(retry_failed),
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,45 @@
+"""Fault model for campaign execution and the evaluation service.
+
+Four pieces, layered from policy to mechanism:
+
+* :mod:`repro.faults.policy` — :class:`RetryPolicy`: attempt budgets,
+  exponential backoff with deterministic seeded jitter, and the
+  retryable-vs-fatal exception classification every executor shares;
+* :mod:`repro.faults.context` — the per-process record of *which* point
+  (key, label, attempt) is currently evaluating, the seam the injection
+  harness keys its schedules on;
+* :mod:`repro.faults.inject` — the deterministic fault-injection harness:
+  declarative :class:`FaultSpec` schedules wrapped around any registered
+  backend (:class:`FaultyBackend`), making crash/hang/fail scenarios exactly
+  reproducible in tests and ``python -m repro.sweep chaos``;
+* :mod:`repro.faults.breaker` — a generic :class:`CircuitBreaker`, used by
+  the serve layer to shed load while the engine is failing.
+"""
+
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.context import clear_point_context, current_point, set_point_context
+from repro.faults.inject import (
+    FaultPlan,
+    FaultSpec,
+    FaultyBackend,
+    InjectedFault,
+    SimulatedCrash,
+    inject_faults,
+)
+from repro.faults.policy import FatalError, RetryableError, RetryPolicy
+
+__all__ = [
+    "CircuitBreaker",
+    "FatalError",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyBackend",
+    "InjectedFault",
+    "RetryPolicy",
+    "RetryableError",
+    "SimulatedCrash",
+    "clear_point_context",
+    "current_point",
+    "inject_faults",
+    "set_point_context",
+]

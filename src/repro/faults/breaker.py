@@ -1,0 +1,120 @@
+"""A minimal circuit breaker: shed load while the downstream is failing.
+
+Classic three-state machine, tuned for the serve layer but dependency-free:
+
+* **closed** — requests flow; consecutive failures are counted and
+  ``threshold`` of them in a row trip the breaker open (a single success
+  resets the streak);
+* **open** — requests are refused outright for ``cooldown_ms``; callers get
+  a ``retry_after_ms`` hint instead of queueing work the engine will fail;
+* **half-open** — after the cooldown one probe request is admitted: success
+  closes the breaker, failure re-opens it for another cooldown.
+
+The clock is injectable (``time.monotonic`` by default) so tests drive the
+state machine without sleeping.  Not thread-safe by itself: the serve layer
+calls it from a single event loop; other callers must add their own lock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+#: The three breaker states, as reported by :attr:`CircuitBreaker.state`.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+class CircuitBreaker:
+    """Trip after ``threshold`` consecutive failures; recover via one probe."""
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_ms: float = 1000.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be positive")
+        if cooldown_ms <= 0:
+            raise ValueError("cooldown_ms must be positive")
+        self.threshold = threshold
+        self.cooldown_ms = cooldown_ms
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0  # consecutive, while closed
+        self._opened_at = 0.0
+        self._probing = False  # a half-open probe is in flight
+        self._trips = 0  # lifetime closed→open transitions
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        self._maybe_half_open()
+        return self._state
+
+    @property
+    def trips(self) -> int:
+        return self._trips
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN:
+            elapsed_ms = (self._clock() - self._opened_at) * 1000.0
+            if elapsed_ms >= self.cooldown_ms:
+                self._state = HALF_OPEN
+                self._probing = False
+
+    # ------------------------------------------------------------------ #
+    def allow(self) -> bool:
+        """Whether to admit the next request (may consume the probe slot)."""
+        self._maybe_half_open()
+        if self._state == CLOSED:
+            return True
+        if self._state == HALF_OPEN and not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    def retry_after_ms(self) -> int:
+        """Cooldown remaining — the hint to hand back with a refusal."""
+        self._maybe_half_open()
+        if self._state == CLOSED:
+            return 0
+        if self._state == HALF_OPEN:
+            return max(1, int(self.cooldown_ms))  # probe pending; come back later
+        elapsed_ms = (self._clock() - self._opened_at) * 1000.0
+        return max(1, int(self.cooldown_ms - elapsed_ms))
+
+    def record_success(self) -> None:
+        self._maybe_half_open()
+        self._failures = 0
+        self._probing = False
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        self._maybe_half_open()
+        if self._state == HALF_OPEN:
+            self._trip()  # the probe failed: straight back to open
+            return
+        self._failures += 1
+        if self._state == CLOSED and self._failures >= self.threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._probing = False
+        self._trips += 1
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """State for ``/stats``-style reporting."""
+        state = self.state  # advances open → half-open first
+        return {
+            "state": state,
+            "failures": self._failures,
+            "trips": self._trips,
+            "threshold": self.threshold,
+            "cooldown_ms": self.cooldown_ms,
+            "retry_after_ms": self.retry_after_ms() if state != CLOSED else 0,
+        }

@@ -1,0 +1,41 @@
+"""Which sweep point is evaluating in *this* process, right now.
+
+Runners stamp the current point's identity (key, label, attempt number)
+into a module global before handing the point to its backend and clear it
+after.  The fault-injection harness (:mod:`repro.faults.inject`) reads it to
+decide whether a declarative fault schedule applies to the evaluation in
+flight — by point key, by label glob, or by attempt number — without the
+backend protocol having to carry any of that.
+
+The globals are per-process by construction: a forked pool worker inherits
+the parent's (cleared) state and stamps its own points, so injection
+schedules behave identically in serial and pooled campaigns.
+
+Deliberately dependency-free: imported by both the runners and the
+injection harness, below everything else in the stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+_KEY: Optional[str] = None
+_LABEL: Optional[str] = None
+_ATTEMPT: int = 1
+
+
+def set_point_context(key: str, label: str, attempt: int = 1) -> None:
+    """Record the point this process is about to evaluate."""
+    global _KEY, _LABEL, _ATTEMPT
+    _KEY, _LABEL, _ATTEMPT = key, label, attempt
+
+
+def clear_point_context() -> None:
+    """Forget the current point (evaluation finished or raised)."""
+    global _KEY, _LABEL, _ATTEMPT
+    _KEY, _LABEL, _ATTEMPT = None, None, 1
+
+
+def current_point() -> Tuple[Optional[str], Optional[str], int]:
+    """``(key, label, attempt)`` of the evaluation in flight (Nones outside one)."""
+    return _KEY, _LABEL, _ATTEMPT

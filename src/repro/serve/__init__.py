@@ -21,7 +21,14 @@ or in-process::
 """
 
 from repro.serve.batcher import AdaptiveBatcher, request_signature
-from repro.serve.client import AsyncServeClient, Overloaded, ServeClient, ServeError
+from repro.serve.client import (
+    AsyncServeClient,
+    EvaluationTimeout,
+    Overloaded,
+    ServeClient,
+    ServeError,
+    Unavailable,
+)
 from repro.serve.memo import ResponseMemo
 from repro.serve.metrics import LatencyReservoir, ServerMetrics
 from repro.serve.protocol import (
@@ -35,7 +42,9 @@ from repro.serve.protocol import (
 from repro.serve.server import (
     EvaluationServer,
     EvaluationService,
+    EvaluationTimeoutError,
     OverloadedError,
+    ServiceUnavailableError,
     run_server,
 )
 
@@ -44,6 +53,8 @@ __all__ = [
     "AsyncServeClient",
     "EvaluationServer",
     "EvaluationService",
+    "EvaluationTimeout",
+    "EvaluationTimeoutError",
     "LatencyReservoir",
     "Overloaded",
     "OverloadedError",
@@ -53,6 +64,8 @@ __all__ = [
     "ServeClient",
     "ServeError",
     "ServerMetrics",
+    "ServiceUnavailableError",
+    "Unavailable",
     "make_point",
     "parse_point",
     "point_key",

@@ -16,6 +16,7 @@ which is what lets the server's micro-batcher do its job.
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
 import time
 from typing import Any, Dict, Optional
@@ -35,12 +36,55 @@ class Overloaded(ServeError):
         self.retry_after_ms = retry_after_ms
 
 
+class Unavailable(ServeError):
+    """The server's circuit breaker is open; retry after the hint."""
+
+    def __init__(self, retry_after_ms: int) -> None:
+        super().__init__(f"server unavailable; retry after {retry_after_ms} ms")
+        self.retry_after_ms = retry_after_ms
+
+
+class EvaluationTimeout(ServeError):
+    """The server gave up on the evaluation after its batch timeout."""
+
+    def __init__(self, timeout_s: float) -> None:
+        super().__init__(f"server-side evaluation timed out after {timeout_s:g} s")
+        self.timeout_s = timeout_s
+
+
 def _raise_for(response: Dict[str, Any]) -> Dict[str, Any]:
     if response.get("ok"):
         return response
-    if response.get("error") == "overloaded":
+    error = response.get("error")
+    if error == "overloaded":
         raise Overloaded(int(response.get("retry_after_ms", 1)))
-    raise ServeError(str(response.get("error", "unknown server error")))
+    if error == "unavailable":
+        raise Unavailable(int(response.get("retry_after_ms", 1)))
+    if error == "timeout":
+        raise EvaluationTimeout(float(response.get("timeout_s", 0.0)))
+    raise ServeError(str(error or "unknown server error"))
+
+
+def _retry_delay_s(
+    exc: "Overloaded | Unavailable",
+    rng: random.Random,
+    jitter: float,
+    started: float,
+    deadline_s: Optional[float],
+    now: float,
+) -> Optional[float]:
+    """The jittered sleep before the next attempt, or None to give up.
+
+    Jitter decorrelates a fleet of clients that all received the same
+    ``retry_after_ms`` hint — without it they stampede back in lockstep and
+    re-trip the very admission control that rejected them.  A retry that
+    could not complete before the total deadline is not attempted at all.
+    """
+    delay = (exc.retry_after_ms / 1000.0) * (1.0 + jitter * (2.0 * rng.random() - 1.0))
+    delay = max(0.0, delay)
+    if deadline_s is not None and (now - started) + delay >= deadline_s:
+        return None
+    return delay
 
 
 class ServeClient:
@@ -98,16 +142,34 @@ class ServeClient:
         return _raise_for(self.request("evaluate", point=point))["result"]
 
     def evaluate_retry(
-        self, point: Dict[str, Any], max_attempts: int = 8
+        self,
+        point: Dict[str, Any],
+        max_attempts: int = 8,
+        deadline_s: Optional[float] = 30.0,
+        jitter: float = 0.5,
+        rng: Optional[random.Random] = None,
     ) -> Dict[str, Any]:
-        """Evaluate with overload-aware retry (sleeps the server's hint)."""
+        """Evaluate with backoff-aware retry on overload/unavailable.
+
+        Sleeps the server's ``retry_after_ms`` hint with ±``jitter``
+        randomization, bounded by ``max_attempts`` and a total
+        ``deadline_s`` (None waits as long as the attempts allow) — the
+        last rejection is re-raised when either budget runs out.
+        """
+        rng = rng if rng is not None else random.Random()
+        started = time.monotonic()
         for attempt in range(max_attempts):
             try:
                 return self.evaluate(point)
-            except Overloaded as exc:
+            except (Overloaded, Unavailable) as exc:
                 if attempt + 1 == max_attempts:
                     raise
-                time.sleep(exc.retry_after_ms / 1000.0)
+                delay = _retry_delay_s(
+                    exc, rng, jitter, started, deadline_s, time.monotonic()
+                )
+                if delay is None:
+                    raise
+                time.sleep(delay)
         raise AssertionError("unreachable")
 
     def stats(self) -> Dict[str, Any]:
@@ -209,16 +271,34 @@ class AsyncServeClient:
         return _raise_for(await self.request("evaluate", point=point))["result"]
 
     async def evaluate_retry(
-        self, point: Dict[str, Any], max_attempts: int = 8
+        self,
+        point: Dict[str, Any],
+        max_attempts: int = 8,
+        deadline_s: Optional[float] = 30.0,
+        jitter: float = 0.5,
+        rng: Optional[random.Random] = None,
     ) -> Dict[str, Any]:
-        """Evaluate with overload-aware retry (sleeps the server's hint)."""
+        """Evaluate with backoff-aware retry on overload/unavailable.
+
+        The async twin of :meth:`ServeClient.evaluate_retry`: jittered
+        hint-length sleeps, bounded by ``max_attempts`` and a total
+        ``deadline_s``; the last rejection is re-raised when either budget
+        runs out.
+        """
+        rng = rng if rng is not None else random.Random()
+        started = time.monotonic()
         for attempt in range(max_attempts):
             try:
                 return await self.evaluate(point)
-            except Overloaded as exc:
+            except (Overloaded, Unavailable) as exc:
                 if attempt + 1 == max_attempts:
                     raise
-                await asyncio.sleep(exc.retry_after_ms / 1000.0)
+                delay = _retry_delay_s(
+                    exc, rng, jitter, started, deadline_s, time.monotonic()
+                )
+                if delay is None:
+                    raise
+                await asyncio.sleep(delay)
         raise AssertionError("unreachable")
 
     async def evaluate_full(self, point: Dict[str, Any]) -> Dict[str, Any]:

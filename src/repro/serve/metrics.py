@@ -59,6 +59,8 @@ class ServerMetrics:
         self._completed = 0
         self._rejected = 0
         self._errors = 0
+        self._timeouts = 0
+        self._sheds = 0
         self._batch_sizes: Counter = Counter()
 
     # ------------------------------------------------------------------ #
@@ -79,6 +81,16 @@ class ServerMetrics:
         with self._lock:
             self._errors += 1
 
+    def record_timeout(self) -> None:
+        """An admitted evaluation exceeded the per-batch timeout."""
+        with self._lock:
+            self._timeouts += 1
+
+    def record_shed(self) -> None:
+        """The circuit breaker refused an evaluation while open."""
+        with self._lock:
+            self._sheds += 1
+
     def record_batch(self, size: int) -> None:
         with self._lock:
             self._batch_sizes[size] += 1
@@ -93,6 +105,16 @@ class ServerMetrics:
     def rejected(self) -> int:
         with self._lock:
             return self._rejected
+
+    @property
+    def timeouts(self) -> int:
+        with self._lock:
+            return self._timeouts
+
+    @property
+    def sheds(self) -> int:
+        with self._lock:
+            return self._sheds
 
     def snapshot(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """The ``/stats`` payload body (JSON-able)."""

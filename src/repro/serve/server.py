@@ -21,6 +21,14 @@ the server growing an unbounded queue), the memo, the problem intern table,
 the engine's session LRU and the metrics reservoir are all bounded, and a
 disconnected client's pending futures are cancelled, priced results dropped
 on the floor, never retained.
+
+Resilience: every admitted evaluation runs under ``batch_timeout_s`` (a
+hung flush fails that request with a structured ``timeout`` response rather
+than pinning the slot), and consecutive engine failures trip a circuit
+breaker (:class:`repro.faults.breaker.CircuitBreaker`) that sheds new
+evaluations with an ``unavailable`` + ``retry_after_ms`` response until a
+cooldown probe succeeds; memo hits bypass the breaker.  ``/stats`` reports
+the breaker state, trips, sheds and timeouts.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.workbench import Workbench
+from repro.faults.breaker import CircuitBreaker
 from repro.pipeline.analytic_batch import batching_enabled
 from repro.pipeline.backends import EvaluationRequest, EvaluationResult, evaluate
 from repro.pipeline.problem import StencilProblem
@@ -56,6 +65,22 @@ class OverloadedError(RuntimeError):
         self.retry_after_ms = retry_after_ms
 
 
+class ServiceUnavailableError(RuntimeError):
+    """The circuit breaker is open: the engine has been failing; back off."""
+
+    def __init__(self, retry_after_ms: int) -> None:
+        super().__init__(f"service unavailable; retry after {retry_after_ms} ms")
+        self.retry_after_ms = retry_after_ms
+
+
+class EvaluationTimeoutError(RuntimeError):
+    """An admitted evaluation did not come back within the batch timeout."""
+
+    def __init__(self, timeout_s: float) -> None:
+        super().__init__(f"evaluation timed out after {timeout_s:g} s")
+        self.timeout_s = timeout_s
+
+
 class EvaluationService:
     """Micro-batched analytic evaluation behind one shared Workbench session.
 
@@ -76,6 +101,15 @@ class EvaluationService:
     scalar:
         Force the per-request scalar reference path (no vectorized folds,
         no memo) — the benchmark's baseline serving mode.
+    batch_timeout_s:
+        Per-evaluation deadline once admitted: an engine flush that hangs
+        past it fails that request with a structured timeout instead of
+        pinning the connection (and its admission slot) forever.
+    breaker_threshold / breaker_cooldown_ms:
+        Circuit breaker shape: after ``breaker_threshold`` consecutive
+        engine failures the breaker opens and evaluations are shed with a
+        ``retry_after_ms`` hint for ``breaker_cooldown_ms``, then a single
+        probe decides between closing and re-opening.
     """
 
     def __init__(
@@ -89,9 +123,14 @@ class EvaluationService:
         queue_limit: int = 1024,
         memo_entries: int = 4096,
         scalar: bool = False,
+        batch_timeout_s: float = 30.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown_ms: float = 1000.0,
     ) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be positive")
+        if batch_timeout_s <= 0:
+            raise ValueError("batch_timeout_s must be positive")
         self.workbench = workbench if workbench is not None else Workbench()
         self.engine = self.workbench.analytic_engine
         self.cache = self.workbench.cache
@@ -108,6 +147,10 @@ class EvaluationService:
             min_window_ms=min_window_ms,
             max_window_ms=max_window_ms,
             on_flush=lambda size, why: self.metrics.record_batch(size),
+        )
+        self.batch_timeout_s = batch_timeout_s
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold, cooldown_ms=breaker_cooldown_ms
         )
         self._inflight = 0
         #: Bounded intern table: problem cache-key -> the one instance the
@@ -153,8 +196,11 @@ class EvaluationService:
 
         Returns ``(payload, served_by)`` with ``served_by`` one of ``memo``
         or ``engine``.  Raises :class:`OverloadedError` past the admission
-        watermark and :class:`~repro.serve.protocol.ProtocolError` on a bad
-        spec — both before any state is queued.
+        watermark, :class:`ServiceUnavailableError` while the circuit
+        breaker is open, and :class:`~repro.serve.protocol.ProtocolError` on
+        a bad spec — all before any state is queued.  An admitted evaluation
+        that outlives ``batch_timeout_s`` raises
+        :class:`EvaluationTimeoutError` (and counts as a breaker failure).
         """
         problem, request = parse_point(spec)
         if self._inflight >= self.queue_limit:
@@ -167,15 +213,33 @@ class EvaluationService:
         if self.memo is not None:
             payload = self.memo.get(key)
             if payload is not None:
+                # Memo hits never touch the engine, so a tripped breaker
+                # does not shed them — cached answers stay cheap and safe.
                 self.metrics.record_accepted()
                 self.metrics.record_completed(time.perf_counter() - started)
                 return payload, "memo"
+        if not self.breaker.allow():
+            self.metrics.record_shed()
+            raise ServiceUnavailableError(self.breaker.retry_after_ms())
         self.metrics.record_accepted()
         self._inflight += 1
         try:
-            result = await self.batcher.submit(self._intern(problem), request)
+            result = await asyncio.wait_for(
+                self.batcher.submit(self._intern(problem), request),
+                timeout=self.batch_timeout_s,
+            )
+        except asyncio.TimeoutError:
+            self.breaker.record_failure()
+            self.metrics.record_timeout()
+            raise EvaluationTimeoutError(self.batch_timeout_s) from None
+        except asyncio.CancelledError:
+            raise  # a disconnecting client is not an engine failure
+        except Exception:
+            self.breaker.record_failure()
+            raise
         finally:
             self._inflight -= 1
+        self.breaker.record_success()
         payload = result_payload(result)
         if self.memo is not None:
             self.memo.put(key, payload)
@@ -201,6 +265,11 @@ class EvaluationService:
             },
             "plan_cache": self.workbench.cache_info()._asdict(),
         }
+        breaker = self.breaker.snapshot()
+        breaker["shed"] = self.metrics.sheds
+        breaker["timeouts"] = self.metrics.timeouts
+        extra["breaker"] = breaker
+        extra["batch_timeout_s"] = self.batch_timeout_s
         return self.metrics.snapshot(extra)
 
 
@@ -288,6 +357,16 @@ class EvaluationServer:
                 await respond(
                     {"id": request_id, "ok": False, "error": "overloaded",
                      "retry_after_ms": exc.retry_after_ms}
+                )
+            except ServiceUnavailableError as exc:
+                await respond(
+                    {"id": request_id, "ok": False, "error": "unavailable",
+                     "retry_after_ms": exc.retry_after_ms}
+                )
+            except EvaluationTimeoutError as exc:
+                await respond(
+                    {"id": request_id, "ok": False, "error": "timeout",
+                     "timeout_s": exc.timeout_s}
                 )
             except ProtocolError as exc:
                 self.service.metrics.record_error()

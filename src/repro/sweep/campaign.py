@@ -33,6 +33,7 @@ from typing import (
     Union,
 )
 
+from repro.faults.policy import RetryPolicy
 from repro.pipeline.cache import CacheInfo
 from repro.sweep.checkpoint import CampaignCheckpoint
 from repro.sweep.eventlog import EventLogObserver
@@ -43,6 +44,7 @@ from repro.sweep.events import (
     EventBus,
     ObserverError,
     PointCompleted,
+    PointFailed,
     PointResumed,
     RunObserver,
 )
@@ -156,6 +158,9 @@ class CampaignResult:
     records: List[PointRecord] = field(default_factory=list)
     evaluated: int = 0
     resumed: int = 0
+    #: Points permanently failed (retries exhausted or quarantined poison),
+    #: including failures resumed from the checkpoint.
+    failed: int = 0
     jobs: int = 1
     strategy: str = "grid"
     wall_seconds: float = 0.0
@@ -218,8 +223,14 @@ class CampaignResult:
     # determinism contract
     # ------------------------------------------------------------------ #
     def canonical_rows(self) -> List[dict]:
-        """Deterministic rows sorted by (rung, key) — no timing, no pids."""
-        ordered = sorted(self.records, key=lambda r: (r.rung, r.key))
+        """Deterministic rows sorted by (rung, key) — no timing, no pids.
+
+        Failure records are excluded, matching :func:`canonical_json`: the
+        contract covers successfully evaluated points only.
+        """
+        ordered = sorted(
+            (r for r in self.records if not r.failed), key=lambda r: (r.rung, r.key)
+        )
         return [r.canonical() for r in ordered]
 
     def to_json(self) -> str:
@@ -247,9 +258,11 @@ class CampaignResult:
     def format(self, max_rows: int = 20) -> str:
         """Human-readable campaign report (used by the CLI and examples)."""
         info = self.cache_info()
+        failures = f", {self.failed} FAILED" if self.failed else ""
         lines = [
             f"campaign {self.spec.name!r}: {self.size} points "
-            f"({self.evaluated} evaluated, {self.resumed} resumed from checkpoint), "
+            f"({self.evaluated} evaluated, {self.resumed} resumed from checkpoint"
+            f"{failures}), "
             f"strategy={self.strategy}, jobs={self.jobs}, "
             f"{self.wall_seconds:.2f}s wall",
             f"plan cache: {info.hits} hits / {info.misses} misses "
@@ -334,6 +347,13 @@ class _CampaignAggregator(RunObserver):
         self.done[record.key] = record
         self.fresh.append(record)
 
+    def on_point_failed(self, event) -> None:
+        # A failure record is authoritative state too: the stage executor
+        # reads it back out of ``done`` and resume skips the point — but it
+        # is *not* fresh, so evaluated counts and cache stats cover
+        # successful evaluations only.
+        self.done[event.record.key] = event.record
+
     def on_point_resumed(self, event) -> None:
         self.resumed_keys.add(event.record.key)
 
@@ -347,6 +367,8 @@ def execute_campaign(
     chunksize: Optional[int] = None,
     observers: Sequence[Any] = (),
     event_log: Optional[Union[str, EventLogObserver]] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    retry_failed: bool = False,
 ) -> CampaignResult:
     """Run (or resume) a campaign through the event-streaming engine.
 
@@ -374,6 +396,16 @@ def execute_campaign(
         this run is persisted there, fingerprint-guarded like the
         checkpoint, for ``--follow`` and ``python -m repro.sweep replay``.
         Attaching one never changes the canonical result.
+    retry_policy:
+        A :class:`~repro.faults.policy.RetryPolicy` enabling fault-tolerant
+        execution: failed attempts are retried with deterministic backoff,
+        stragglers re-issued, broken pools respawned, and exhausted points
+        recorded as *failed* instead of aborting the campaign.  ``None``
+        (the default) keeps fail-fast semantics.
+    retry_failed:
+        Re-evaluate points whose checkpoint record says they permanently
+        failed in an earlier session.  By default a resume skips them,
+        exactly like successful points.
     """
     t0 = time.perf_counter()
     strategy = strategy or GridSearch()
@@ -390,6 +422,11 @@ def execute_campaign(
     preloaded: Dict[str, PointRecord] = (
         store.load(fingerprint=fingerprint) if store is not None else {}
     )
+    if retry_failed:
+        # Forget persisted failure verdicts: the points re-enter the todo
+        # set and, on success, their fresh records supersede the failures
+        # in the checkpoint (last record wins on load).
+        preloaded = {k: r for k, r in preloaded.items() if not r.failed}
     if store is not None:
         store.open_for_append(
             spec,
@@ -468,14 +505,21 @@ def execute_campaign(
             # contracts.
             for record in returned or []:
                 if record.key not in aggregator.done:
-                    bus.publish(PointCompleted(record=record))
+                    if record.failed:
+                        bus.publish(PointFailed(record=record))
+                    else:
+                        bus.publish(PointCompleted(record=record))
             return [aggregator.done[key] for key in keys]
 
         previous_sink = runner.event_sink
+        previous_policy = runner.retry_policy
         runner.event_sink = bus.publish
+        if retry_policy is not None:
+            runner.retry_policy = retry_policy
         try:
             records = strategy.execute(points, run_points)
             wall_seconds = time.perf_counter() - t0
+            failed = len({r.key for r in records if r.failed})
             # Published while the store is still open: the checkpointer
             # reacts by writing the durable finished marker.  A crashed
             # campaign never gets one, so --follow keeps (correctly)
@@ -487,10 +531,12 @@ def execute_campaign(
                     evaluated=len(aggregator.fresh),
                     resumed=len(aggregator.resumed_keys),
                     wall_seconds=wall_seconds,
+                    failed=failed,
                 )
             )
         finally:
             runner.event_sink = previous_sink
+            runner.retry_policy = previous_policy
     finally:
         if store is not None:
             store.close()
@@ -501,6 +547,7 @@ def execute_campaign(
         records=records,
         evaluated=len(aggregator.fresh),
         resumed=len(aggregator.resumed_keys),
+        failed=failed,
         jobs=runner.jobs,
         strategy=strategy.name,
         wall_seconds=wall_seconds,

@@ -300,18 +300,21 @@ class CampaignCheckpoint:
         payload["kind"] = "record"
         self._write_line(payload)
 
-    def write_finished(self, evaluated: int, resumed: int) -> None:
+    def write_finished(self, evaluated: int, resumed: int, failed: int = 0) -> None:
         """Append the campaign-finished marker (flushed immediately).
 
         The marker is what tells a ``--follow`` tailer that an *adaptive*
         campaign (halving evaluates more records than ``total_points``,
         random fewer) is genuinely done, independent of record counts.
+        ``failed`` counts permanently failed points; the key is written only
+        when non-zero, so markers from clean campaigns are unchanged.
         """
         if self._fh is None:
             raise RuntimeError("checkpoint is not open; call open_for_append() first")
-        self._write_line(
-            {"kind": "finished", "evaluated": evaluated, "resumed": resumed}
-        )
+        marker = {"kind": "finished", "evaluated": evaluated, "resumed": resumed}
+        if failed:
+            marker["failed"] = failed
+        self._write_line(marker)
 
     def _write_line(self, payload: dict) -> None:
         self._fh.write(json.dumps(payload, sort_keys=True) + "\n")

@@ -57,10 +57,14 @@ from repro.sweep.events import (
     EventBus,
     ObserverError,
     PointCompleted,
+    PointFailed,
     PointResumed,
+    PointRetried,
     PointStarted,
+    PoolRestarted,
     RunEvent,
     RunObserver,
+    WorkerLost,
 )
 from repro.sweep.record import PointRecord
 
@@ -85,14 +89,21 @@ def default_event_log_path(checkpoint_path: str) -> str:
 # serialisation
 # --------------------------------------------------------------------------- #
 #: Events carrying a full PointRecord under ``data["record"]``.
-_RECORD_EVENTS = {"point_completed": PointCompleted, "point_resumed": PointResumed}
+_RECORD_EVENTS = {
+    "point_completed": PointCompleted,
+    "point_resumed": PointResumed,
+    "point_failed": PointFailed,
+}
 
 #: Events whose dataclass fields serialise as plain JSON scalars.
 _FLAT_EVENTS = {
     "campaign_started": CampaignStarted,
     "point_started": PointStarted,
+    "point_retried": PointRetried,
     "checkpoint_flushed": CheckpointFlushed,
     "campaign_finished": CampaignFinished,
+    "worker_lost": WorkerLost,
+    "pool_restarted": PoolRestarted,
 }
 
 
@@ -276,10 +287,16 @@ class ReplayStats(NamedTuple):
     campaigns: int  #: campaign sessions in the log
     finished: bool  #: the last session reached CampaignFinished
     errors: List[ObserverError]  #: isolated observer failures
+    failed: int = 0  #: permanently failed points in the last session
 
     def format(self) -> str:
         """One-line summary for the ``replay`` CLI subcommand."""
-        state = "finished" if self.finished else "INCOMPLETE"
+        if self.finished and self.failed:
+            state = f"finished with {self.failed} failed point(s)"
+        elif self.finished:
+            state = "finished"
+        else:
+            state = "INCOMPLETE"
         extra = f", {self.skipped} unknown line(s) skipped" if self.skipped else ""
         return (
             f"replayed {self.events} event(s) across {self.campaigns} "
@@ -352,7 +369,7 @@ class CampaignReplay:
         bus = EventBus()
         for observer in observers:
             bus.subscribe(observer)
-        events = skipped = campaigns = 0
+        events = skipped = campaigns = failed = 0
         finished = False
         for payload in iter_jsonl(self.path):
             if payload.get("kind") == "header":
@@ -365,8 +382,15 @@ class CampaignReplay:
             if isinstance(event, CampaignStarted):
                 campaigns += 1
                 finished = False
+                failed = 0
+            elif isinstance(event, PointFailed):
+                failed += 1
             elif isinstance(event, CampaignFinished):
                 finished = True
+                # Trust the finish marker when present: a resumed session
+                # inherits failures persisted by earlier sessions that this
+                # session's PointFailed count would miss.
+                failed = max(failed, getattr(event, "failed", 0) or 0)
             bus.publish(event)
             events += 1
         return ReplayStats(
@@ -375,4 +399,5 @@ class CampaignReplay:
             campaigns=campaigns,
             finished=finished,
             errors=list(bus.errors),
+            failed=failed,
         )

@@ -107,6 +107,63 @@ class PointResumed(RunEvent):
 
 
 @dataclass(frozen=True)
+class PointRetried(RunEvent):
+    """An attempt failed retryably; the point will be re-issued.
+
+    ``reason`` distinguishes *why*: ``"error"`` (the backend raised),
+    ``"deadline"`` (the watchdog abandoned a straggler) or
+    ``"worker-lost"`` (the point was in flight when its pool broke).
+    """
+
+    kind = "point_retried"
+
+    key: str
+    label: str
+    rung: int = 0
+    attempt: int = 1  #: the attempt that just failed (1-based)
+    error: str = ""
+    delay_s: float = 0.0  #: backoff before the next attempt
+    reason: str = "error"  #: "error" | "deadline" | "worker-lost"
+    worker: Optional[int] = None  #: pid of the failing worker, when known
+
+
+@dataclass(frozen=True)
+class PointFailed(RunEvent):
+    """A point exhausted its retry budget (or was quarantined as poison).
+
+    Carries the failure :class:`~repro.sweep.record.PointRecord`
+    (``record.failed`` is True) so checkpoints persist the verdict and a
+    resume can skip the point.
+    """
+
+    kind = "point_failed"
+
+    record: PointRecord
+
+
+@dataclass(frozen=True)
+class WorkerLost(RunEvent):
+    """A pool worker died (the executor reported a broken pool)."""
+
+    kind = "worker_lost"
+
+    worker: Optional[int] = None  #: pid of the dead worker, when identifiable
+    inflight: int = 0  #: points in flight when the pool broke
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class PoolRestarted(RunEvent):
+    """The runner respawned its worker pool after losing it."""
+
+    kind = "pool_restarted"
+
+    restarts: int = 1  #: cumulative pool respawns this campaign
+    jobs: int = 0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
 class CheckpointFlushed(RunEvent):
     """One record reached the JSONL checkpoint on disk."""
 
@@ -128,6 +185,7 @@ class CampaignFinished(RunEvent):
     evaluated: int
     resumed: int
     wall_seconds: float
+    failed: int = 0  #: points recorded as permanently failed
 
 
 #: A callable consuming events (what runners see as their ``event_sink``).
@@ -233,6 +291,7 @@ class ProgressReporter(RunObserver):
         self.completed = 0
         self.evaluated = 0
         self.resumed = 0
+        self.failed = 0
 
     # ------------------------------------------------------------------ #
     def on_campaign_started(self, event: CampaignStarted) -> None:
@@ -243,6 +302,7 @@ class ProgressReporter(RunObserver):
         self.completed = 0
         self.evaluated = 0
         self.resumed = 0
+        self.failed = 0
         self._t0 = self._clock()
         self._last_emit = None
         self._write(
@@ -260,11 +320,42 @@ class ProgressReporter(RunObserver):
         self.evaluated += 1
         self._emit()
 
+    def on_point_retried(self, event: PointRetried) -> None:
+        self._write(
+            f"[{self.name}] retrying {event.label} "
+            f"(attempt {event.attempt} {event.reason}: {event.error or 'failed'})"
+        )
+
+    def on_point_failed(self, event: PointFailed) -> None:
+        self.completed += 1
+        self.failed += 1
+        self._write(
+            f"[{self.name}] FAILED {event.record.label}: "
+            f"{event.record.error or 'unknown error'}"
+        )
+        self._emit()
+
+    def on_worker_lost(self, event: WorkerLost) -> None:
+        who = f"pid {event.worker}" if event.worker else "worker"
+        self._write(
+            f"[{self.name}] {who} lost with {event.inflight} point(s) in flight"
+        )
+
+    def on_pool_restarted(self, event: PoolRestarted) -> None:
+        self._write(
+            f"[{self.name}] worker pool restarted "
+            f"(#{event.restarts}, jobs={event.jobs}): {event.reason}"
+        )
+
     def on_campaign_finished(self, event: CampaignFinished) -> None:
         self._emit(force=True)
+        # The failure clause is appended only when present, so the finish
+        # line of a clean campaign stays byte-identical to older releases
+        # (CI and the tests grep for it verbatim).
+        failures = f", {event.failed} failed" if event.failed else ""
         self._write(
             f"[{event.name}] campaign finished: {event.evaluated} evaluated, "
-            f"{event.resumed} resumed in {event.wall_seconds:.2f}s"
+            f"{event.resumed} resumed{failures} in {event.wall_seconds:.2f}s"
         )
 
     # ------------------------------------------------------------------ #
@@ -312,12 +403,20 @@ class CheckpointObserver(RunObserver):
         self.flushed = 0
 
     def on_point_completed(self, event: PointCompleted) -> None:
-        self.store.append(event.record)
+        self._append(event.record)
+
+    def on_point_failed(self, event: PointFailed) -> None:
+        # Failure records are durable too: a resume must know the point was
+        # quarantined, not merely never attempted.
+        self._append(event.record)
+
+    def _append(self, record) -> None:
+        self.store.append(record)
         self.flushed += 1
         if self.bus is not None:
             self.bus.publish(
                 CheckpointFlushed(
-                    path=self.store.path, key=event.record.key, flushed=self.flushed
+                    path=self.store.path, key=record.key, flushed=self.flushed
                 )
             )
 
@@ -325,7 +424,9 @@ class CheckpointObserver(RunObserver):
         # The durable end-of-campaign marker: what tells a cross-process
         # --follow tailer that an adaptive campaign is done (its record
         # count need not match the header's total_points).
-        self.store.write_finished(evaluated=event.evaluated, resumed=event.resumed)
+        self.store.write_finished(
+            evaluated=event.evaluated, resumed=event.resumed, failed=event.failed
+        )
 
 
 class EventLog(RunObserver):

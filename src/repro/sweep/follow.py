@@ -26,7 +26,14 @@ files written by other processes:
   the seen-key set, re-syncing from the new file contents — counts stay
   accurate instead of silently stalling until the idle timeout.
 
-Exit codes: 0 when the campaign completed, 1 when the follower gave up on an
+Both tailers are failure-aware: permanently failed points (quarantined by
+the fault-tolerant runners) count as *done* — the campaign genuinely
+finished with them — but are reported separately, and the event tailer
+additionally surfaces retries, lost workers and pool restarts as incident
+lines as they stream in.
+
+Exit codes: 0 when the campaign completed cleanly, 1 when it completed but
+some points permanently failed, 2 when the follower gave up on an
 incomplete campaign after ``idle_timeout`` seconds without new data.
 
 The follower needs no connection to the producing process, so it works
@@ -174,6 +181,10 @@ class _CheckpointTailer(_JsonlTailer):
         self.strategy: Optional[str] = None
         self.finished = False
         self.keys: set = set()
+        self.failed_keys: set = set()
+        self.marker_failed = 0
+        #: incident lines (permanent failures) not yet printed.
+        self.pending_incidents: List[str] = []
 
     def _consume(self, payload: dict) -> int:
         kind = payload.get("kind")
@@ -183,11 +194,25 @@ class _CheckpointTailer(_JsonlTailer):
             self.strategy = payload.get("strategy")
         elif kind == "record":
             key = payload.get("key")
+            meta = payload.get("meta") or {}
+            if meta.get("status") == "failed":
+                if key not in self.failed_keys:
+                    self.failed_keys.add(key)
+                    label = payload.get("label") or key
+                    self.pending_incidents.append(
+                        f"FAILED {label}: {meta.get('error', '')}"
+                    )
+            else:
+                # A later success supersedes an earlier failure record
+                # (``--retry-failed`` appends the fresh result to the same
+                # checkpoint).
+                self.failed_keys.discard(key)
             if key not in self.keys:
                 self.keys.add(key)
                 return 1
         elif kind == "finished":
             self.finished = True
+            self.marker_failed = int(payload.get("failed") or 0)
         return 0
 
     def _reset_state(self) -> None:
@@ -196,7 +221,20 @@ class _CheckpointTailer(_JsonlTailer):
         # key, and keeping the old set would double-count nothing but would
         # mask keys the rewrite legitimately removed.
         self.keys = set()
+        self.failed_keys = set()
+        self.marker_failed = 0
+        self.pending_incidents = []
         self.finished = False
+
+    def drain_incidents(self) -> List[str]:
+        """Incident lines observed since the last drain."""
+        pending, self.pending_incidents = self.pending_incidents, []
+        return pending
+
+    @property
+    def failed(self) -> int:
+        """Permanently failed points (records seen, or the finish marker)."""
+        return max(len(self.failed_keys), self.marker_failed)
 
     @property
     def count(self) -> int:
@@ -239,9 +277,13 @@ class _EventLogTailer(_JsonlTailer):
         self.strategy: Optional[str] = None
         self.finished = False
         self.started: Dict[str, Optional[int]] = {}  # key -> worker pid
-        self.done: set = set()  # completed or resumed keys
+        self.done: set = set()  # completed, resumed or failed keys
+        self.failed_keys: set = set()
+        self.marker_failed = 0
         #: (label, worker pid) starts not yet printed by the follower.
         self.pending_starts: List[Tuple[str, Optional[int]]] = []
+        #: fault-tolerance incident lines not yet printed by the follower.
+        self.pending_incidents: List[str] = []
         #: worker pid -> [points, first started_ts, last finished_ts]
         self.workers: Dict[int, List[float]] = {}
 
@@ -263,8 +305,11 @@ class _EventLogTailer(_JsonlTailer):
             self.finished = False
             self.started = {}
             self.done = set()
+            self.failed_keys = set()
+            self.marker_failed = 0
             self.workers = {}
             self.pending_starts = []
+            self.pending_incidents = []
         elif kind == "point_started":
             key = data.get("key")
             if key not in self.started:
@@ -273,6 +318,12 @@ class _EventLogTailer(_JsonlTailer):
         elif kind in ("point_completed", "point_resumed"):
             record = data.get("record") or {}
             key = record.get("key")
+            meta = record.get("meta") or {}
+            if meta.get("status") == "failed":
+                # A resumed failure record: done, but counted as failed.
+                self.failed_keys.add(key)
+            else:
+                self.failed_keys.discard(key)
             if key not in self.done:
                 self.done.add(key)
                 if kind == "point_completed":
@@ -292,16 +343,53 @@ class _EventLogTailer(_JsonlTailer):
                         ):
                             stats[2] = finished_ts
                 return 1
+        elif kind == "point_failed":
+            record = data.get("record") or {}
+            key = record.get("key")
+            meta = record.get("meta") or {}
+            self.failed_keys.add(key)
+            label = record.get("label") or key
+            self.pending_incidents.append(f"FAILED {label}: {meta.get('error', '')}")
+            if key not in self.done:
+                self.done.add(key)
+                return 1
+        elif kind == "point_retried":
+            self.pending_incidents.append(
+                "retrying {label} (attempt {attempt} after {reason}: {error})".format(
+                    label=data.get("label") or data.get("key"),
+                    attempt=data.get("attempt", "?"),
+                    reason=data.get("reason", "error"),
+                    error=data.get("error", ""),
+                )
+            )
+        elif kind == "worker_lost":
+            self.pending_incidents.append(
+                "worker {worker} lost with {inflight} point(s) in flight".format(
+                    worker=data.get("worker", "?"), inflight=data.get("inflight", 0)
+                )
+            )
+        elif kind == "pool_restarted":
+            self.pending_incidents.append(
+                "worker pool restarted (#{restarts}, jobs={jobs}): {reason}".format(
+                    restarts=data.get("restarts", "?"),
+                    jobs=data.get("jobs", "?"),
+                    reason=data.get("reason", ""),
+                )
+            )
         elif kind == "campaign_finished":
             self.finished = True
+            self.marker_failed = int(data.get("failed") or 0)
         return 0
 
     def _reset_state(self) -> None:
         self.finished = False
         self.started = {}
         self.done = set()
+        self.failed_keys = set()
+        self.marker_failed = 0
         self.workers = {}
         self.pending_starts = []
+        self.pending_incidents = []
 
     # ------------------------------------------------------------------ #
     @property
@@ -318,6 +406,16 @@ class _EventLogTailer(_JsonlTailer):
         """Starts observed since the last drain (label, worker pid)."""
         pending, self.pending_starts = self.pending_starts, []
         return pending
+
+    def drain_incidents(self) -> List[str]:
+        """Fault-tolerance incident lines observed since the last drain."""
+        pending, self.pending_incidents = self.pending_incidents, []
+        return pending
+
+    @property
+    def failed(self) -> int:
+        """Permanently failed points (events seen, or the finish event)."""
+        return max(len(self.failed_keys), self.marker_failed)
 
     def worker_report(self) -> List[str]:
         """Per-worker throughput lines, from the workers' own timestamps."""
@@ -346,20 +444,38 @@ class _EventLogTailer(_JsonlTailer):
 # --------------------------------------------------------------------------- #
 # follow loops
 # --------------------------------------------------------------------------- #
+def _completion_suffix(tailer) -> str:
+    """``, N failed`` when points permanently failed, else nothing.
+
+    Appending only on failure keeps clean-run completion lines
+    byte-identical to what CI and older tooling grep for.
+    """
+    failed = getattr(tailer, "failed", 0)
+    return f", {failed} failed" if failed else ""
+
+
+def _completion_code(tailer) -> int:
+    """0 for a clean completion, 1 when points permanently failed."""
+    return 1 if getattr(tailer, "failed", 0) else 0
+
+
 def _finish_incomplete(tailer, emit, idle_timeout: Optional[float]) -> int:
     """Shared give-up path: salvage the tail, then report complete or not."""
     tailer.finalize()
     total = tailer.total if tailer.total is not None else "?"
     if tailer.complete:
         note = " (salvaged torn trailing line)" if tailer.salvaged_tail else ""
-        emit(f"[{tailer.name}] campaign complete: {tailer.count} points{note}")
-        return 0
+        emit(
+            f"[{tailer.name}] campaign complete: {tailer.count} points"
+            f"{_completion_suffix(tailer)}{note}"
+        )
+        return _completion_code(tailer)
     idle = f"{idle_timeout:.0f}s" if idle_timeout is not None else "a long time"
     emit(
         f"[{tailer.name}] no new data for {idle}; campaign incomplete at "
         f"{tailer.count}/{total} point(s); giving up"
     )
-    return 1
+    return 2
 
 
 def follow_checkpoint(
@@ -400,6 +516,7 @@ def follow_checkpoint(
     # Records already on disk predate the attach: they seed the count but
     # not the rate, so points/sec means "campaign throughput while watched".
     tailer.poll()
+    tailer.drain_incidents()  # failures that predate the attach are history
     baseline = tailer.count
     t_attach = clock()
     last_data = t_attach
@@ -409,9 +526,12 @@ def follow_checkpoint(
         if tailer.resynced:
             emit(f"[{tailer.name}] checkpoint rewritten, re-syncing")
             baseline = min(baseline, tailer.count)
+        incidents = tailer.drain_incidents()
+        for line in incidents:
+            emit(f"[{tailer.name}] ! {line}")
         now = clock()
-        if new_records or tailer.complete or first_status:
-            if new_records:
+        if new_records or incidents or tailer.complete or first_status:
+            if new_records or incidents:
                 last_data = now
             fresh = tailer.count - baseline
             elapsed = now - t_attach
@@ -431,8 +551,11 @@ def follow_checkpoint(
             )
             first_status = False
         if tailer.complete:
-            emit(f"[{tailer.name}] campaign complete: {tailer.count} points")
-            return 0
+            emit(
+                f"[{tailer.name}] campaign complete: {tailer.count} points"
+                f"{_completion_suffix(tailer)}"
+            )
+            return _completion_code(tailer)
         if idle_timeout is not None and now - last_data > idle_timeout:
             return _finish_incomplete(tailer, emit, idle_timeout)
         sleep(poll_seconds)
@@ -468,6 +591,7 @@ def follow_event_log(
     emit(f"following events {path} ...")
     tailer.poll()
     tailer.drain_starts()  # starts that predate the attach are history
+    tailer.drain_incidents()  # ... and so are incidents
     baseline = tailer.count
     t_attach = clock()
     last_data = t_attach
@@ -481,9 +605,12 @@ def follow_event_log(
         for label, worker in starts:
             where = f" @ worker {worker}" if worker is not None else ""
             emit(f"[{tailer.name}] > started {label}{where}")
+        incidents = tailer.drain_incidents()
+        for line in incidents:
+            emit(f"[{tailer.name}] ! {line}")
         now = clock()
-        if new_done or starts or tailer.complete or first_status:
-            if new_done or starts:
+        if new_done or starts or incidents or tailer.complete or first_status:
+            if new_done or starts or incidents:
                 last_data = now
             fresh = tailer.count - baseline
             elapsed = now - t_attach
@@ -505,10 +632,13 @@ def follow_event_log(
         if tailer.complete:
             workers = tailer.workers
             suffix = f" across {len(workers)} worker(s)" if workers else ""
-            emit(f"[{tailer.name}] campaign complete: {tailer.count} points{suffix}")
+            emit(
+                f"[{tailer.name}] campaign complete: {tailer.count} points"
+                f"{_completion_suffix(tailer)}{suffix}"
+            )
             for line in tailer.worker_report():
                 emit(f"[{tailer.name}]   {line}")
-            return 0
+            return _completion_code(tailer)
         if idle_timeout is not None and now - last_data > idle_timeout:
             return _finish_incomplete(tailer, emit, idle_timeout)
         sleep(poll_seconds)

@@ -10,6 +10,14 @@ metric a report or a search strategy needs, none of the heavyweight payload
   ``tests/sweep``), and
 * a **meta** part — wall-clock time, worker pid and per-worker plan-cache
   counters, which vary run to run and are excluded from canonical output.
+
+Permanently failed points (retries exhausted, poison points quarantined by
+the pool runner) are persisted as **failure records**: the same shape, with
+``meta["status"] == "failed"`` and the error text in ``meta["error"]``.
+They live in checkpoints so a resume knows not to re-run them, but they are
+excluded from :func:`canonical_json` — canonical output covers successfully
+evaluated points only, which is what makes a fault-injected campaign
+byte-comparable to a fault-free one.
 """
 
 from __future__ import annotations
@@ -94,6 +102,50 @@ class PointRecord:
             result=result if keep_result else None,
         )
 
+    @classmethod
+    def failure(
+        cls,
+        key: str,
+        label: str,
+        backend: str,
+        system: str,
+        iterations: int = 0,
+        rung: int = 0,
+        error: str = "",
+        attempts: int = 1,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> "PointRecord":
+        """A record for a point that exhausted its retry budget.
+
+        Metric fields stay ``None``; the failure status, error text and
+        attempt count live in ``meta`` so :data:`CANONICAL_FIELDS` (and with
+        it the canonical-bytes contract) is unchanged.
+        """
+        merged = dict(meta or {})
+        merged.update({"status": "failed", "error": error, "attempts": attempts})
+        return cls(
+            key=key,
+            label=label,
+            backend=backend,
+            system=system,
+            iterations=iterations,
+            rung=rung,
+            meta=merged,
+        )
+
+    # ------------------------------------------------------------------ #
+    # failure status
+    # ------------------------------------------------------------------ #
+    @property
+    def failed(self) -> bool:
+        """Whether this record marks a permanently failed point."""
+        return self.meta.get("status") == "failed"
+
+    @property
+    def error(self) -> str:
+        """The recorded failure reason (empty for successful points)."""
+        return str(self.meta.get("error") or "")
+
     # ------------------------------------------------------------------ #
     # derived metrics
     # ------------------------------------------------------------------ #
@@ -143,7 +195,14 @@ def canonical_json(records: List[PointRecord]) -> str:
     """Byte-stable JSON of many records, sorted by (rung, key).
 
     This is the determinism contract: a parallel campaign must produce output
-    byte-identical to the serial runner on the same spec.
+    byte-identical to the serial runner on the same spec.  Failure records
+    are excluded — canonical output covers successful evaluations only, so a
+    fault-injected run compares byte-for-byte against a clean one on the
+    points both completed.
     """
-    rows = [r.canonical() for r in sorted(records, key=lambda r: (r.rung, r.key))]
+    rows = [
+        r.canonical()
+        for r in sorted(records, key=lambda r: (r.rung, r.key))
+        if not r.failed
+    ]
     return json.dumps(rows, sort_keys=True, separators=(",", ":"))

@@ -48,22 +48,51 @@ and priced in a single vectorized call
 scalar path, with faithful per-point events and ``batch_size`` /
 ``batch_index`` attribution stamps in ``meta``.  ``REPRO_ANALYTIC_BATCH=0``
 disables the lane; canonical campaign output is byte-identical either way.
+
+Installing a :class:`~repro.faults.policy.RetryPolicy` on a runner (the
+campaign engine does this through the :attr:`Runner.retry_policy` seam)
+switches both runners to **fault-tolerant** execution: failed attempts are
+classified and retried with deterministic backoff, stragglers past the
+policy deadline are abandoned and re-issued, a broken worker pool is
+respawned with its in-flight points re-enqueued, and points that repeatedly
+crash the pool are quarantined as failure records instead of aborting the
+campaign.  Retrying forces the scalar path (one failure domain per point);
+canonical output is unchanged by the lane's bitwise-equality contract.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import replace
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.faults.context import clear_point_context, set_point_context
+from repro.faults.policy import RetryPolicy
 from repro.pipeline.backends import AnalyticBackend, get_backend
 from repro.pipeline.cache import CacheInfo, plan_cache
 from repro.pipeline.compile import compile as compile_problem
 from repro.pipeline.compile import compile_batch
-from repro.sweep.events import EventSink, PointCompleted, PointStarted
+from repro.sweep.events import (
+    EventSink,
+    PointCompleted,
+    PointFailed,
+    PointRetried,
+    PointStarted,
+    PoolRestarted,
+    WorkerLost,
+)
 from repro.sweep.record import PointRecord
 from repro.sweep.spec import SweepPoint
 
@@ -111,15 +140,26 @@ def _evaluate_point(
     strip_artifacts: bool = False,
     run_index: int = 0,
     stamp: Optional[Dict[str, Any]] = None,
+    attempt: int = 1,
 ) -> PointRecord:
-    """Evaluate one point against this process's warm plan cache."""
+    """Evaluate one point against this process's warm plan cache.
+
+    The point's identity (key, label, attempt) is published to the
+    per-process fault context for the duration of the backend call, so a
+    fault-injection harness (:mod:`repro.faults.inject`) can key its
+    schedule on exactly which evaluation is in flight.
+    """
     if stamp is None:
         stamp = _begin_stamp()
-    t0 = time.perf_counter()
-    design = compile_problem(point.problem)
-    t1 = time.perf_counter()
-    result = get_backend(point.backend).evaluate(design, point.request)
-    t2 = time.perf_counter()
+    set_point_context(point.key(), point.display_label, attempt)
+    try:
+        t0 = time.perf_counter()
+        design = compile_problem(point.problem)
+        t1 = time.perf_counter()
+        result = get_backend(point.backend).evaluate(design, point.request)
+        t2 = time.perf_counter()
+    finally:
+        clear_point_context()
     if keep_result and strip_artifacts:
         # Live simulation objects do not belong on the wire; metrics, the
         # design and the output grid survive the process boundary.
@@ -138,6 +178,10 @@ def _evaluate_point(
         # counters) rides in meta: visible to PointCompleted observers and
         # checkpoints, excluded from the canonical determinism contract.
         meta.update(result.perf)
+    if attempt > 1:
+        # Only retried successes carry the counter, so clean-run meta is
+        # byte-identical with and without a retry policy installed.
+        meta["attempts"] = attempt
     meta.update(_cache_meta(cache_baseline))
     return PointRecord.from_result(
         point.key(),
@@ -310,6 +354,93 @@ def _evaluate_chunk(args: Tuple[Sequence[SweepPoint], bool, int]) -> List[PointR
 
 
 # --------------------------------------------------------------------------- #
+# fault-tolerant evaluation
+# --------------------------------------------------------------------------- #
+@dataclass
+class PointError:
+    """A failed evaluation attempt, shipped from worker to parent.
+
+    Exceptions themselves do not reliably survive pickling, so workers never
+    re-raise: they classify the failure *where the exception type exists*
+    (against the shipped :class:`RetryPolicy`) and return this slim marker in
+    the record's place.  Retry scheduling stays entirely parent-side.
+    """
+
+    key: str
+    label: str
+    rung: int
+    error: str  #: "ExceptionType: message"
+    attempt: int  #: the attempt that failed (1-based)
+    retryable: bool  #: the worker-side policy verdict
+    worker: Optional[int] = None
+    started_ts: Optional[float] = None
+    worker_seq: Optional[int] = None
+
+
+def _failure_record(
+    point: SweepPoint, error: str, attempts: int, run_index: int
+) -> PointRecord:
+    """The permanent failure record for a point whose retries are exhausted."""
+    return PointRecord.failure(
+        key=point.key(),
+        label=point.display_label,
+        backend=point.backend,
+        system=point.request.system,
+        iterations=point.request.iterations,
+        rung=point.rung,
+        error=error,
+        attempts=attempts,
+        meta={"run": run_index},
+    )
+
+
+def _evaluate_chunk_tolerant(
+    args: Tuple[Sequence[SweepPoint], bool, int, RetryPolicy, Sequence[int]],
+) -> List[Any]:
+    """Worker entry point of the fault-tolerant pool path.
+
+    Unlike :func:`_evaluate_chunk` this never takes the vectorized fast lane
+    (one fault decision and one failure domain per point) and never lets an
+    evaluation exception escape: failed points come back as
+    :class:`PointError` markers, successes as records, in input order.
+    Retrying is the parent's job — a worker that retried locally would hide
+    attempt counts from the event stream.
+    """
+    points, keep_results, run_index, policy, attempts = args
+    baseline = _worker_cache_baseline()
+    out: List[Any] = []
+    for point, attempt in zip(points, attempts):
+        stamp = _begin_stamp()
+        try:
+            out.append(
+                _evaluate_point(
+                    point,
+                    keep_result=keep_results,
+                    cache_baseline=baseline,
+                    strip_artifacts=True,
+                    run_index=run_index,
+                    stamp=stamp,
+                    attempt=attempt,
+                )
+            )
+        except Exception as exc:
+            out.append(
+                PointError(
+                    key=point.key(),
+                    label=point.display_label,
+                    rung=point.rung,
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempt=attempt,
+                    retryable=policy.classify(exc),
+                    worker=stamp.get("worker"),
+                    started_ts=stamp.get("started_ts"),
+                    worker_seq=stamp.get("worker_seq"),
+                )
+            )
+    return out
+
+
+# --------------------------------------------------------------------------- #
 # cost-aware chunking
 # --------------------------------------------------------------------------- #
 def point_cost_weight(point: SweepPoint) -> float:
@@ -392,6 +523,11 @@ class Runner:
 
     #: Where to publish run events (installed by the campaign engine).
     event_sink: Optional[EventSink] = None
+
+    #: Retry/deadline policy (installed by the campaign engine, like
+    #: :attr:`event_sink`).  ``None`` keeps the historical fail-fast
+    #: behaviour: the first evaluation exception propagates.
+    retry_policy: Optional[RetryPolicy] = None
 
     def _next_run_index(self) -> int:
         # Lazy so Runner subclasses need not chain __init__.
@@ -503,10 +639,82 @@ def _run_in_process(
     return records
 
 
+def _run_in_process_tolerant(
+    points: Sequence[SweepPoint],
+    on_result: Optional[ResultCallback],
+    keep_results: bool,
+    strip_artifacts: bool,
+    run_index: int,
+    event_sink: Optional[EventSink],
+    policy: RetryPolicy,
+) -> List[PointRecord]:
+    """The in-process loop under a retry policy: retry, back off, or fail.
+
+    Deliberately scalar (no analytic fast lane): retrying demands one
+    failure domain per point.  Per the lane's bitwise-equality contract the
+    canonical output is identical either way.  Each attempt gets its own
+    begin stamp and :class:`PointStarted`; a retryable failure publishes
+    :class:`PointRetried` and sleeps the policy's deterministic backoff; an
+    exhausted or fatal one lands a failure record and :class:`PointFailed`
+    (``on_result`` observes successes only).
+    """
+    baseline = plan_cache.cache_info()
+    records: List[PointRecord] = []
+    for point in points:
+        key = point.key()
+        for attempt in range(1, policy.max_attempts + 1):
+            stamp = _begin_stamp()
+            _emit_started(event_sink, point, stamp)
+            try:
+                record = _evaluate_point(
+                    point,
+                    keep_result=keep_results,
+                    cache_baseline=baseline,
+                    strip_artifacts=strip_artifacts,
+                    run_index=run_index,
+                    stamp=stamp,
+                    attempt=attempt,
+                )
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                if policy.classify(exc) and attempt < policy.max_attempts:
+                    delay = policy.delay_s(key, attempt)
+                    if event_sink is not None:
+                        event_sink(
+                            PointRetried(
+                                key=key,
+                                label=point.display_label,
+                                rung=point.rung,
+                                attempt=attempt,
+                                error=error,
+                                delay_s=delay,
+                                reason="error",
+                                worker=stamp.get("worker"),
+                            )
+                        )
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                failure = _failure_record(point, error, attempt, run_index)
+                records.append(failure)
+                if event_sink is not None:
+                    event_sink(PointFailed(record=failure))
+                break
+            records.append(record)
+            if on_result is not None:
+                on_result(record)
+            _emit_completed(event_sink, record)
+            break
+    return records
+
+
 class SerialRunner(Runner):
     """The in-process reference executor: one point after another."""
 
     jobs = 1
+
+    def __init__(self, retry_policy: Optional[RetryPolicy] = None) -> None:
+        self.retry_policy = retry_policy
 
     def run(
         self,
@@ -514,6 +722,16 @@ class SerialRunner(Runner):
         on_result: Optional[ResultCallback] = None,
         keep_results: bool = False,
     ) -> List[PointRecord]:
+        if self.retry_policy is not None:
+            return _run_in_process_tolerant(
+                points,
+                on_result,
+                keep_results,
+                strip_artifacts=False,
+                run_index=self._next_run_index(),
+                event_sink=self.event_sink,
+                policy=self.retry_policy,
+            )
         return _run_in_process(
             points,
             on_result,
@@ -547,6 +765,7 @@ class ProcessPoolRunner(Runner):
         jobs: int = 2,
         chunksize: Optional[int] = None,
         start_method: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be positive")
@@ -554,6 +773,7 @@ class ProcessPoolRunner(Runner):
             raise ValueError("chunksize must be positive")
         self.jobs = jobs
         self.chunksize = chunksize
+        self.retry_policy = retry_policy
         if start_method is None and "fork" in multiprocessing.get_all_start_methods():
             start_method = "fork"
         self.start_method = start_method
@@ -586,6 +806,16 @@ class ProcessPoolRunner(Runner):
         if jobs == 1:
             # In-process fallback honouring the parallel contract: same run
             # tagging, and artifacts stripped exactly as the workers would.
+            if self.retry_policy is not None:
+                return _run_in_process_tolerant(
+                    points,
+                    on_result,
+                    keep_results,
+                    strip_artifacts=True,
+                    run_index=run_index,
+                    event_sink=self.event_sink,
+                    policy=self.retry_policy,
+                )
             return _run_in_process(
                 points,
                 on_result,
@@ -593,6 +823,10 @@ class ProcessPoolRunner(Runner):
                 strip_artifacts=True,
                 run_index=run_index,
                 event_sink=self.event_sink,
+            )
+        if self.retry_policy is not None:
+            return self._run_tolerant(
+                points, on_result, keep_results, run_index, jobs
             )
         chunks = self._chunk(points, jobs)
         by_chunk: Dict[int, List[PointRecord]] = {}
@@ -615,9 +849,365 @@ class ProcessPoolRunner(Runner):
                     _emit_completed(self.event_sink, record)
         return [record for index in range(len(chunks)) for record in by_chunk[index]]
 
+    # ------------------------------------------------------------------ #
+    # fault-tolerant execution
+    # ------------------------------------------------------------------ #
+    def _run_tolerant(
+        self,
+        points: List[SweepPoint],
+        on_result: Optional[ResultCallback],
+        keep_results: bool,
+        run_index: int,
+        jobs: int,
+    ) -> List[PointRecord]:
+        """The hardened pool path: retries, deadlines, crash recovery.
 
-def make_runner(jobs: int = 1, chunksize: Optional[int] = None) -> Runner:
+        State machine, parent-side only (workers never retry):
+
+        * Every in-flight chunk carries its points' 1-based attempt numbers
+          and (when the policy sets ``deadline_s``) a cumulative wall-clock
+          deadline.  Expired chunks are *abandoned* — not cancelled, a
+          running future cannot be — their unresolved points re-issued
+          immediately as singletons; results are first-completion-wins, so
+          a straggler that eventually lands is simply ignored.  When every
+          worker is wedged on an abandoned chunk the pool is replaced
+          outright to reclaim capacity.
+        * A :class:`BrokenExecutor` takes down every in-flight future at
+          once.  The pool is respawned (:class:`WorkerLost` +
+          :class:`PoolRestarted` events) and unresolved in-flight points
+          re-issued — but each also collects a *crash blame*, because the
+          parent cannot know which of the co-scheduled points killed the
+          worker.  Enough blames put a point on **probation**: it runs
+          *solo*, with nothing else in flight.  A solo crash is certain
+          guilt — the point is quarantined as failed ("poison") instead of
+          killing the campaign; a solo success clears its blames
+          (co-scheduled innocents walk free).
+        * Ordinary retryable failures come back as :class:`PointError`
+          markers and re-enter through a ready-time heap after the policy's
+          deterministic backoff.
+        """
+        policy = self.retry_policy
+        sink = self.event_sink
+        resolved: Dict[str, PointRecord] = {}
+        tries: Dict[str, int] = {}  # attempts submitted so far, per key
+        blames: Dict[str, int] = {}  # pool-break co-blames, per key
+        retry_heap: List[Tuple[float, int, SweepPoint]] = []  # (ready, seq, p)
+        heap_seq = itertools.count()
+        probation: "deque[SweepPoint]" = deque()
+        restarts = 0
+
+        @dataclass
+        class _Inflight:
+            points: List[SweepPoint]
+            attempts: List[int]
+            deadline: Optional[float]
+            solo: bool = False
+            abandoned: bool = False
+
+        inflight: Dict[Any, _Inflight] = {}
+        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=self._context())
+
+        # -------------------------------------------------------------- #
+        def respawn(reason: str) -> None:
+            nonlocal pool, restarts
+            restarts += 1
+            _terminate_pool(pool)
+            pool = ProcessPoolExecutor(max_workers=jobs, mp_context=self._context())
+            if sink is not None:
+                sink(PoolRestarted(restarts=restarts, jobs=jobs, reason=reason))
+
+        def submit(chunk: List[SweepPoint], solo: bool = False) -> None:
+            attempts = []
+            for p in chunk:
+                key = p.key()
+                tries[key] = tries.get(key, 0) + 1
+                attempts.append(tries[key])
+            deadline = None
+            if policy.deadline_s is not None:
+                deadline = time.monotonic() + policy.deadline_s * len(chunk)
+            for _ in range(2):
+                try:
+                    future = pool.submit(
+                        _evaluate_chunk_tolerant,
+                        (chunk, keep_results, run_index, policy, attempts),
+                    )
+                    break
+                except BrokenExecutor as exc:
+                    # The pool died between deliveries (nothing of ours was
+                    # in flight, or it would have surfaced via a future):
+                    # replace it and submit again.
+                    respawn(f"{type(exc).__name__}: {exc}")
+            else:  # pragma: no cover - two consecutive dead-on-arrival pools
+                raise RuntimeError("worker pool died immediately after respawn")
+            inflight[future] = _Inflight(
+                points=list(chunk), attempts=attempts, deadline=deadline, solo=solo
+            )
+
+        def deliver(record: PointRecord) -> None:
+            resolved[record.key] = record
+            blames.pop(record.key, None)
+            _emit_started_from_record(sink, record)
+            if on_result is not None:
+                on_result(record)
+            _emit_completed(sink, record)
+
+        def fail(point: SweepPoint, error: str, attempts: int) -> None:
+            record = _failure_record(point, error, attempts, run_index)
+            resolved[record.key] = record
+            if sink is not None:
+                sink(PointFailed(record=record))
+
+        def reissue(point: SweepPoint, delay: float) -> None:
+            heapq.heappush(
+                retry_heap, (time.monotonic() + delay, next(heap_seq), point)
+            )
+
+        def handle_error(point: SweepPoint, item: PointError) -> None:
+            if sink is not None:
+                # The attempt did begin in a worker: replay its start stamp
+                # so the stream stays faithful even for failed attempts.
+                sink(
+                    PointStarted(
+                        key=item.key,
+                        label=item.label,
+                        rung=item.rung,
+                        worker=item.worker,
+                        ts=item.started_ts,
+                        seq=item.worker_seq,
+                    )
+                )
+            if item.retryable and item.attempt < policy.max_attempts:
+                delay = policy.delay_s(item.key, item.attempt)
+                if sink is not None:
+                    sink(
+                        PointRetried(
+                            key=item.key,
+                            label=item.label,
+                            rung=item.rung,
+                            attempt=item.attempt,
+                            error=item.error,
+                            delay_s=delay,
+                            reason="error",
+                            worker=item.worker,
+                        )
+                    )
+                reissue(point, delay)
+            else:
+                fail(point, item.error, item.attempt)
+
+        def handle_pool_break(infos: List[_Inflight], exc: BaseException) -> None:
+            error = f"{type(exc).__name__}: {exc}".strip(": ")
+            suspects: List[Tuple[SweepPoint, int]] = []
+            solo_victims: List[Tuple[SweepPoint, int]] = []
+            for info in infos:
+                if info.abandoned:
+                    continue  # already re-issued (or failed) by the watchdog
+                for p, attempt in zip(info.points, info.attempts):
+                    if p.key() in resolved:
+                        continue
+                    (solo_victims if info.solo else suspects).append((p, attempt))
+            if sink is not None:
+                sink(
+                    WorkerLost(
+                        worker=_lost_worker_pid(pool),
+                        inflight=len(suspects) + len(solo_victims),
+                        error=error,
+                    )
+                )
+            respawn(error)
+            for p, attempt in solo_victims:
+                # Solo run, solo crash: guilt is certain. Quarantine.
+                fail(p, f"point repeatedly crashed the worker pool ({error})", attempt)
+            for p, attempt in suspects:
+                key = p.key()
+                blames[key] = blames.get(key, 0) + 1
+                if sink is not None:
+                    sink(
+                        PointRetried(
+                            key=key,
+                            label=p.display_label,
+                            rung=p.rung,
+                            attempt=attempt,
+                            error=error,
+                            delay_s=0.0,
+                            reason="worker-lost",
+                        )
+                    )
+                if blames[key] >= max(1, policy.max_attempts - 1):
+                    probation.append(p)
+                else:
+                    reissue(p, 0.0)
+
+        # -------------------------------------------------------------- #
+        try:
+            for chunk in self._chunk(points, jobs):
+                submit(chunk)
+            while len(resolved) < len(points):
+                now = time.monotonic()
+                if probation:
+                    # Probation points run with an empty pool: wait for the
+                    # in-flight work to drain before submitting one, alone.
+                    if not inflight:
+                        point = probation.popleft()
+                        if point.key() not in resolved:
+                            submit([point], solo=True)
+                        continue
+                else:
+                    while retry_heap and retry_heap[0][0] <= now:
+                        _, _, point = heapq.heappop(retry_heap)
+                        if point.key() not in resolved:
+                            submit([point])
+                if not inflight:
+                    if retry_heap:
+                        time.sleep(
+                            min(0.05, max(0.0, retry_heap[0][0] - time.monotonic()))
+                        )
+                        continue
+                    if probation:
+                        continue
+                    raise RuntimeError(
+                        "fault-tolerant pool lost track of "
+                        f"{len(points) - len(resolved)} unresolved point(s)"
+                    )
+                waits = [
+                    info.deadline - now
+                    for info in inflight.values()
+                    if not info.abandoned and info.deadline is not None
+                ]
+                if retry_heap and not probation:
+                    waits.append(retry_heap[0][0] - now)
+                timeout = max(0.0, min(waits)) if waits else None
+                if probation and timeout is None:
+                    # A probation point is waiting for the pool to drain;
+                    # poll rather than block forever behind a wedged,
+                    # already-abandoned straggler.
+                    timeout = 0.05
+                done, _ = wait(
+                    list(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                broken: Optional[BaseException] = None
+                broken_infos: List[_Inflight] = []
+                for future in done:
+                    info = inflight.pop(future)
+                    try:
+                        items = future.result()
+                    except BrokenExecutor as exc:
+                        broken = exc
+                        broken_infos.append(info)
+                        continue
+                    for point, item in zip(info.points, items):
+                        if item.key in resolved:
+                            continue  # a late straggler lost the race
+                        if isinstance(item, PointRecord):
+                            deliver(item)
+                        else:
+                            handle_error(point, item)
+                if broken is not None:
+                    # One break kills every sibling future; drain them all.
+                    broken_infos.extend(inflight.values())
+                    inflight.clear()
+                    handle_pool_break(broken_infos, broken)
+                    continue
+                # Deadline watchdog: abandon expired chunks, re-issue their
+                # unresolved points immediately (or fail them at budget).
+                now = time.monotonic()
+                for info in inflight.values():
+                    if (
+                        info.abandoned
+                        or info.deadline is None
+                        or info.deadline > now
+                    ):
+                        continue
+                    info.abandoned = True
+                    for p, attempt in zip(info.points, info.attempts):
+                        if p.key() in resolved:
+                            continue
+                        error = f"deadline {policy.deadline_s:g}s exceeded"
+                        if attempt < policy.max_attempts:
+                            if sink is not None:
+                                sink(
+                                    PointRetried(
+                                        key=p.key(),
+                                        label=p.display_label,
+                                        rung=p.rung,
+                                        attempt=attempt,
+                                        error=error,
+                                        delay_s=0.0,
+                                        reason="deadline",
+                                    )
+                                )
+                            reissue(p, 0.0)
+                        else:
+                            fail(p, f"point {error}", attempt)
+                live_abandoned = sum(
+                    1 for info in inflight.values() if info.abandoned
+                )
+                if live_abandoned >= jobs:
+                    # Every worker is wedged on a straggler: replace the
+                    # pool so the re-issued points have somewhere to run.
+                    victims = [
+                        (p, a)
+                        for info in inflight.values()
+                        if not info.abandoned
+                        for p, a in zip(info.points, info.attempts)
+                        if p.key() not in resolved
+                    ]
+                    inflight.clear()
+                    respawn(f"{live_abandoned} worker(s) stuck past deadline")
+                    for p, attempt in victims:
+                        if sink is not None:
+                            sink(
+                                PointRetried(
+                                    key=p.key(),
+                                    label=p.display_label,
+                                    rung=p.rung,
+                                    attempt=attempt,
+                                    error="pool replaced while in flight",
+                                    delay_s=0.0,
+                                    reason="worker-lost",
+                                )
+                            )
+                        reissue(p, 0.0)
+        finally:
+            _terminate_pool(pool)
+        return [resolved[p.key()] for p in points]
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*: kill workers, then release the executor.
+
+    ``shutdown(wait=True)`` would block behind wedged or dead workers; the
+    fault-tolerant path needs its capacity back immediately, so live worker
+    processes are terminated first (best-effort, via the executor's private
+    process table) and the shutdown never waits.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _lost_worker_pid(pool: ProcessPoolExecutor) -> Optional[int]:
+    """Best-effort pid of a dead worker in a broken pool (None if unknown)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for pid, proc in list(processes.items()):
+        try:
+            if not proc.is_alive():
+                return pid
+        except Exception:
+            continue
+    return None
+
+
+def make_runner(
+    jobs: int = 1,
+    chunksize: Optional[int] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> Runner:
     """The standard runner for a given parallelism degree."""
     if jobs <= 1:
-        return SerialRunner()
-    return ProcessPoolRunner(jobs=jobs, chunksize=chunksize)
+        return SerialRunner(retry_policy=retry_policy)
+    return ProcessPoolRunner(jobs=jobs, chunksize=chunksize, retry_policy=retry_policy)

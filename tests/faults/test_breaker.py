@@ -1,0 +1,108 @@
+"""CircuitBreaker state machine, driven by a fake clock (no sleeping)."""
+
+import pytest
+
+from repro.faults.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance_ms(self, ms):
+        self.now += ms / 1000.0
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(threshold=3, cooldown_ms=100.0, clock=clock)
+
+
+class TestTripping:
+    def test_stays_closed_below_threshold(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+
+    def test_trips_on_consecutive_failures(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never three in a row
+
+    def test_retry_after_counts_down_the_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.retry_after_ms() == 100
+        clock.advance_ms(60)
+        assert breaker.retry_after_ms() == 40
+
+    def test_closed_breaker_hints_zero(self, breaker):
+        assert breaker.retry_after_ms() == 0
+
+
+class TestRecovery:
+    def _trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+
+    def test_half_open_admits_exactly_one_probe(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance_ms(100)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else still shed
+
+    def test_probe_success_closes(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance_ms(100)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED and breaker.allow()
+
+    def test_probe_failure_reopens_for_another_cooldown(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance_ms(100)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow()
+        clock.advance_ms(100)
+        assert breaker.allow()  # a fresh probe after the new cooldown
+
+
+class TestSnapshotAndValidation:
+    def test_snapshot_shape(self, breaker, clock):
+        snap = breaker.snapshot()
+        assert snap["state"] == CLOSED and snap["retry_after_ms"] == 0
+        for _ in range(3):
+            breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["trips"] == 1
+        assert snap["retry_after_ms"] > 0
+        assert snap["threshold"] == 3 and snap["cooldown_ms"] == 100.0
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_ms=0)

@@ -1,0 +1,184 @@
+"""Fault specs, plans, backend wrapping, and the injection context manager."""
+
+import os
+
+import pytest
+
+from repro.faults.context import clear_point_context, current_point, set_point_context
+from repro.faults.inject import (
+    FaultPlan,
+    FaultSpec,
+    FaultyBackend,
+    InjectedFault,
+    SimulatedCrash,
+    inject_faults,
+)
+from repro.pipeline.backends import Backend, available_backends, get_backend
+
+
+@pytest.fixture(autouse=True)
+def clean_context():
+    clear_point_context()
+    yield
+    clear_point_context()
+
+
+class Recorder(Backend):
+    """Inner backend stub: counts calls, returns a sentinel."""
+
+    name = "recorder"
+
+    def __init__(self):
+        self.calls = 0
+
+    def evaluate(self, design, request):
+        self.calls += 1
+        return ("evaluated", design, request)
+
+
+class TestFaultSpec:
+    def test_unset_fields_match_everything(self):
+        spec = FaultSpec(action="fail")
+        assert spec.matches("any-key", "any-label", 1, coin=0.5)
+
+    def test_key_label_and_attempt_combine_with_and(self):
+        spec = FaultSpec(action="fail", key="k1", label="smoke-*", attempts_below=2)
+        assert spec.matches("k1", "smoke-11x11", 1, 0.0)
+        assert not spec.matches("k2", "smoke-11x11", 1, 0.0)  # wrong key
+        assert not spec.matches("k1", "bench-11x11", 1, 0.0)  # wrong label
+        assert not spec.matches("k1", "smoke-11x11", 2, 0.0)  # retry survives
+
+    def test_probability_uses_the_supplied_coin(self):
+        spec = FaultSpec(action="fail", probability=0.3)
+        assert spec.matches("k", "l", 1, coin=0.29)
+        assert not spec.matches("k", "l", 1, coin=0.31)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(action="explode")
+        with pytest.raises(ValueError):
+            FaultSpec(action="fail", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(action="hang", seconds=-1.0)
+
+
+class TestFaultPlan:
+    def test_coin_is_deterministic_and_decorrelated(self):
+        plan = FaultPlan(seed=3)
+        assert plan.coin("k", 1) == FaultPlan(seed=3).coin("k", 1)
+        assert plan.coin("k", 1) != plan.coin("k", 2)
+        assert plan.coin("k", 1) != FaultPlan(seed=4).coin("k", 1)
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(action="hang", label="smoke-*"),
+                FaultSpec(action="fail", label="smoke-*"),
+            )
+        )
+        assert plan.action_for("k", "smoke-x", 1).action == "hang"
+
+    def test_no_point_context_is_never_faulted(self):
+        plan = FaultPlan(faults=(FaultSpec(action="fail"),))
+        assert plan.action_for(None, None, 1) is None
+
+    def test_from_dicts(self):
+        plan = FaultPlan.from_dicts(
+            [{"action": "fail", "label": "a-*"}, {"action": "crash", "key": "k"}],
+            seed=9,
+        )
+        assert len(plan.faults) == 2 and plan.seed == 9
+
+    def test_main_pid_is_stamped_at_construction(self):
+        assert FaultPlan().main_pid == os.getpid()
+
+
+class TestFaultyBackend:
+    def test_passes_through_without_point_context(self):
+        inner = Recorder()
+        wrapped = FaultyBackend(inner, FaultPlan(faults=(FaultSpec(action="fail"),)))
+        assert wrapped.evaluate("d", "r")[0] == "evaluated"
+        assert inner.calls == 1
+        assert wrapped.name == "recorder"
+
+    def test_fail_raises_injected_fault_before_the_inner_backend(self):
+        inner = Recorder()
+        wrapped = FaultyBackend(
+            inner, FaultPlan(faults=(FaultSpec(action="fail", label="bad-*"),))
+        )
+        set_point_context("k", "bad-point", attempt=1)
+        with pytest.raises(InjectedFault, match="attempt 1"):
+            wrapped.evaluate("d", "r")
+        assert inner.calls == 0
+
+    def test_attempts_below_lets_the_retry_succeed(self):
+        inner = Recorder()
+        wrapped = FaultyBackend(
+            inner, FaultPlan(faults=(FaultSpec(action="fail", attempts_below=2),))
+        )
+        set_point_context("k", "l", attempt=1)
+        with pytest.raises(InjectedFault):
+            wrapped.evaluate("d", "r")
+        set_point_context("k", "l", attempt=2)
+        assert wrapped.evaluate("d", "r")[0] == "evaluated"
+
+    def test_hang_delays_then_evaluates(self, monkeypatch):
+        naps = []
+        monkeypatch.setattr("repro.faults.inject.time.sleep", naps.append)
+        inner = Recorder()
+        wrapped = FaultyBackend(
+            inner, FaultPlan(faults=(FaultSpec(action="hang", seconds=0.7),))
+        )
+        set_point_context("k", "l", attempt=1)
+        assert wrapped.evaluate("d", "r")[0] == "evaluated"
+        assert naps == [0.7]
+
+    def test_crash_in_the_main_process_is_simulated(self):
+        # main_pid defaults to os.getpid(): in this process a crash fault
+        # must degrade to a retryable exception, never os._exit.
+        wrapped = FaultyBackend(
+            Recorder(), FaultPlan(faults=(FaultSpec(action="crash"),))
+        )
+        set_point_context("k", "l", attempt=1)
+        with pytest.raises(SimulatedCrash):
+            wrapped.evaluate("d", "r")
+
+    def test_evaluate_many_gets_one_decision_per_point(self):
+        inner = Recorder()
+        wrapped = FaultyBackend(
+            inner, FaultPlan(faults=(FaultSpec(action="fail", attempts_below=2),))
+        )
+        set_point_context("k", "l", attempt=2)  # past the fault window
+        results = wrapped.evaluate_many([("d1", "r"), ("d2", "r")])
+        assert len(results) == 2 and inner.calls == 2
+
+
+class TestInjectFaults:
+    def test_wraps_and_restores_the_registry(self):
+        plan = FaultPlan(faults=(FaultSpec(action="fail", label="nope-*"),))
+        before = {name: type(get_backend(name)) for name in available_backends()}
+        with inject_faults(plan):
+            for name in available_backends():
+                assert isinstance(get_backend(name), FaultyBackend)
+        after = {name: type(get_backend(name)) for name in available_backends()}
+        assert after == before
+
+    def test_restores_on_exception(self):
+        plan = FaultPlan()
+        with pytest.raises(RuntimeError, match="boom"):
+            with inject_faults(plan):
+                raise RuntimeError("boom")
+        assert not isinstance(get_backend("analytic"), FaultyBackend)
+
+    def test_wrapped_analytic_backend_answers_identically(self):
+        """No faults firing: the wrapped backend is a byte-exact passthrough."""
+        from repro.pipeline import StencilProblem
+        from repro.pipeline.backends import evaluate
+
+        problem = StencilProblem.paper_example(11, 11)
+        baseline = evaluate(problem, backend="analytic", iterations=2)
+        with inject_faults(FaultPlan(faults=(FaultSpec(action="fail", label="zzz-*"),))):
+            injected = evaluate(problem, backend="analytic", iterations=2)
+        assert injected.cycles == baseline.cycles
+        assert injected.dram_bytes == baseline.dram_bytes
+        assert injected.operations == baseline.operations

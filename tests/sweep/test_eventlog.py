@@ -327,7 +327,7 @@ class TestFollowEventLog:
                 if '"campaign_finished"' not in l and '"point_completed"' not in l
             )
         stream = io.StringIO()
-        assert follow_event_log(path, idle_timeout=0.2, stream=stream) == 1
+        assert follow_event_log(path, idle_timeout=0.2, stream=stream) == 2
         assert "campaign incomplete" in stream.getvalue()
 
 
@@ -373,7 +373,7 @@ class TestEventLogCLI:
         lines = open(log, encoding="utf-8").read().splitlines(keepends=True)
         with open(log, "w", encoding="utf-8") as fh:
             fh.writelines(l for l in lines if '"campaign_finished"' not in l)
-        assert main(["replay", log, "--quiet"]) == 1
+        assert main(["replay", log, "--quiet"]) == 2
         assert "INCOMPLETE" in capsys.readouterr().out
 
     def test_follow_subcommand_reads_event_logs(self, spec, tmp_path, capsys):

@@ -193,7 +193,7 @@ class TestFollow:
         code = follow_checkpoint(
             path, poll_seconds=0.02, idle_timeout=0.2, stream=stream
         )
-        assert code == 1
+        assert code == 2
         assert "giving up" in stream.getvalue()
 
     def test_follow_cli_flag_and_subcommand(self, spec, tmp_path, capsys):
@@ -247,7 +247,7 @@ class TestAdaptiveStrategyCompletion:
         with open(path, "w", encoding="utf-8") as fh:
             fh.writelines(lines)
         stream = io.StringIO()
-        assert follow_checkpoint(path, idle_timeout=0.2, stream=stream) == 1
+        assert follow_checkpoint(path, idle_timeout=0.2, stream=stream) == 2
         assert "giving up" in stream.getvalue()
 
     def test_compaction_preserves_the_finished_marker(self, spec, tmp_path):
@@ -388,7 +388,7 @@ class TestFollowerResync:
 
     def test_torn_record_line_reports_incomplete_not_a_hang(self, spec, tmp_path):
         """A writer killed mid-record leaves an unparseable tail: follow must
-        report the campaign incomplete with exit code 1, not sit at N-1/N."""
+        report the campaign incomplete with exit code 2, not sit at N-1/N."""
         path = str(tmp_path / "torn.jsonl")
         execute_campaign(spec, checkpoint=path)
         with open(path, encoding="utf-8") as fh:
@@ -399,7 +399,7 @@ class TestFollowerResync:
         stream = io.StringIO()
         code = follow_checkpoint(path, poll_seconds=0.02, idle_timeout=0.2, stream=stream)
         out = stream.getvalue()
-        assert code == 1
+        assert code == 2
         assert f"{spec.size - 1}/{spec.size}" in out
         assert "campaign incomplete" in out and "giving up" in out
 
