@@ -29,12 +29,16 @@ import argparse
 import os
 import sys
 import tempfile
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
-from repro.bench.gate import gate_results
+from repro.bench.gate import GateReport, gate_results
 from repro.bench.history import PerfHistory
 from repro.bench.model import BenchResult, load_result, suite_of_path
-from repro.bench.references import DEFAULT_REFERENCES, load_references
+from repro.bench.references import (
+    DEFAULT_REFERENCES,
+    ReferenceTable,
+    load_references,
+)
 from repro.bench.suites import SUITES, BenchRunError, run_suite
 from repro.bench.trend import format_trend_report, format_worker_report
 
@@ -72,7 +76,9 @@ def _load_files(
     return results
 
 
-def _references(path: Optional[str], parser: argparse.ArgumentParser):
+def _references(
+    path: Optional[str], parser: argparse.ArgumentParser
+) -> ReferenceTable:
     if path is None:
         return DEFAULT_REFERENCES
     try:
@@ -81,7 +87,7 @@ def _references(path: Optional[str], parser: argparse.ArgumentParser):
         parser.error(f"cannot load references {path!r}: {exc}")
 
 
-def _print_reports(reports, exit_code: int) -> None:
+def _print_reports(reports: Sequence[GateReport], exit_code: int) -> None:
     for report in reports:
         print(report.format())
         print()
@@ -90,7 +96,7 @@ def _print_reports(reports, exit_code: int) -> None:
 
 
 # --------------------------------------------------------------------------- #
-def _run_main(argv) -> int:
+def _run_main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench run",
         description="Run benchmark suites through the shared pytest harness, "
@@ -164,7 +170,7 @@ def _run_main(argv) -> int:
     return exit_code if args.gate else 0
 
 
-def _record_main(argv) -> int:
+def _record_main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench record",
         description="Append benchmark JSON files (native envelopes or "
@@ -187,7 +193,7 @@ def _record_main(argv) -> int:
     return 0
 
 
-def _gate_main(argv) -> int:
+def _gate_main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench gate",
         description="Gate benchmark results against the per-host reference "
@@ -238,7 +244,7 @@ def _gate_main(argv) -> int:
     return exit_code
 
 
-def _trend_main(argv) -> int:
+def _trend_main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench trend",
         description="Render per-metric history tables (value and delta per "
@@ -285,7 +291,7 @@ def _trend_main(argv) -> int:
 
 
 # --------------------------------------------------------------------------- #
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI driver; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in SUBCOMMANDS:

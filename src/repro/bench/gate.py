@@ -22,7 +22,7 @@ Exemptions are explicit, never silent:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.bench.model import BenchResult
 from repro.bench.references import (
@@ -169,7 +169,7 @@ def gate_results(
     results: Sequence[BenchResult],
     references: Optional[ReferenceTable] = None,
     strict: bool = False,
-) -> tuple:
+) -> Tuple[List[GateReport], int]:
     """Check many envelopes; returns ``(reports, exit_code)``.
 
     Exit code 0 when every report passes, 1 otherwise — the

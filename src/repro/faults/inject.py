@@ -38,17 +38,20 @@ import random
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.faults.context import current_point
 from repro.faults.policy import RetryableError
 from repro.pipeline.backends import (
     _BACKENDS,
     Backend,
+    EvaluationRequest,
+    EvaluationResult,
     available_backends,
     get_backend,
     register_backend,
 )
+from repro.pipeline.compile import CompiledDesign
 
 #: The three things an injected fault can do to an evaluation.
 FAULT_ACTIONS = ("fail", "hang", "crash")
@@ -157,7 +160,7 @@ class FaultPlan:
         return cls(faults=tuple(FaultSpec(**spec) for spec in faults), seed=seed)
 
 
-class FaultyBackend(Backend):
+class FaultyBackend(Backend):  # repro: allow[backend-protocol] name mirrors the wrapped backend, set in __init__
     """A registered backend wrapped with a fault schedule.
 
     Evaluations whose point context matches the plan are failed, delayed or
@@ -188,11 +191,15 @@ class FaultyBackend(Backend):
             )
         raise InjectedFault(f"{spec.message} (point {label!r}, attempt {attempt})")
 
-    def evaluate(self, design, request):
+    def evaluate(self, design: CompiledDesign, request: EvaluationRequest) -> EvaluationResult:
         self._maybe_fault()
         return self.inner.evaluate(design, request)
 
-    def evaluate_many(self, items, with_artifacts: bool = True):
+    def evaluate_many(
+        self,
+        items: Sequence[Tuple[CompiledDesign, EvaluationRequest]],
+        with_artifacts: bool = True,
+    ) -> List[EvaluationResult]:
         # Per-point loop on purpose: one fault decision per evaluation.
         return Backend.evaluate_many(self, items, with_artifacts=with_artifacts)
 
@@ -215,6 +222,7 @@ def install_fault_plan(
     for name in names:
         inner = get_backend(name)
         register_backend(
+            # repro: allow[picklability] fork-inherited registry override — installed per-process, never pickled
             name, lambda inner=inner, plan=plan: FaultyBackend(inner, plan)
         )
     return saved
@@ -227,7 +235,9 @@ def restore_backends(saved: Dict[str, object]) -> None:
 
 
 @contextmanager
-def inject_faults(plan: FaultPlan, backends: Optional[Sequence[str]] = None):
+def inject_faults(
+    plan: FaultPlan, backends: Optional[Sequence[str]] = None
+) -> Iterator[FaultPlan]:
     """Install ``plan`` for the duration of a ``with`` block.
 
     Pool workers forked inside the block inherit the wrapped registry, so a

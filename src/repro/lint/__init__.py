@@ -1,0 +1,46 @@
+"""repro.lint — contract-enforcing static analysis for the repro tree.
+
+The determinism, event-schema and concurrency contracts this codebase is
+built on live in docstrings and reviewers' heads; this package turns them
+into AST-level checks that run in CI.  ``python -m repro.lint check src
+--strict`` is the gate: exit 0 means every canonical module is free of
+wall clocks and unseeded RNG, every ``RunEvent`` round-trips through
+persistence/replay/follow, record dicts stay within ``CANONICAL_FIELDS``,
+nothing unpicklable reaches a process boundary, backends honour the
+evaluate protocol, and lock-protected state is never touched bare.
+
+Programmatic entry point::
+
+    from repro.lint import run_lint
+    report = run_lint(["src"])
+    assert report.exit_code(strict=True) == 0, report.format_text()
+
+Suppression is two-layered: inline ``# repro: allow[check-id] why`` pragmas
+for sanctioned sites, and a committed JSON baseline for grandfathered debt
+(this tree ships with an empty one — keep it that way).
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintReport, run_lint
+from repro.lint.findings import ERROR, WARNING, Finding
+from repro.lint.registry import (
+    Checker,
+    LintContext,
+    checker_classes,
+    default_checkers,
+    register,
+)
+
+__all__ = [
+    "Baseline",
+    "Checker",
+    "ERROR",
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "WARNING",
+    "checker_classes",
+    "default_checkers",
+    "register",
+    "run_lint",
+]

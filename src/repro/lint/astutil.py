@@ -1,0 +1,151 @@
+"""Shared AST helpers: import alias resolution and shadow-aware scoping.
+
+The contract checkers keep asking the same two questions about a name:
+
+* *what module-level object does this expression refer to?* —
+  ``np.random.default_rng`` must resolve to ``numpy.random.default_rng``
+  through the file's import aliases, whatever the alias is;
+* *is the root name actually the imported module here, or a local that
+  shadows it?* — ``random.words_per_cycle`` where ``random`` is a function
+  parameter must **not** be mistaken for the stdlib RNG.
+
+:class:`ScopedVisitor` answers both: it tracks the file's import map and a
+stack of lexical scopes with their locally bound names (parameters, every
+assignment target, nested def/class names — the same over-approximation
+Python's own symbol table uses for locals), and exposes :meth:`resolve` for
+dotted expressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+
+def import_map(tree: ast.AST) -> Dict[str, str]:
+    """Alias → dotted origin for every import in the module.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``; ``import os.path`` binds
+    the *top* name (``{"os": "os"}``); ``from threading import Lock as L``
+    → ``{"L": "threading.Lock"}``.  Star imports are ignored — nothing can
+    be resolved through them statically.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".", 1)[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports have no stable dotted origin
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname if alias.asname is not None else alias.name
+                aliases[bound] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_parts(node: ast.AST) -> Optional[List[str]]:
+    """``["np", "random", "default_rng"]`` for a pure attribute chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def bound_names(scope: ast.AST) -> Set[str]:
+    """Names bound anywhere inside ``scope`` (its own parameters included).
+
+    Deliberately over-approximate — nested defs and comprehension targets
+    count too — because the only consumer is shadow detection, where a
+    false "bound" merely skips a report, never invents one.
+    """
+    names: Set[str] = set()
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = scope.args
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]:
+            names.add(arg.arg)
+    body = getattr(scope, "body", [])
+    nodes = body if isinstance(body, list) else [body]
+    for top in nodes:
+        for node in ast.walk(top):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                names.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                names.add(node.name)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name != "*":
+                        names.add(alias.asname or alias.name.split(".", 1)[0])
+    return names
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """AST visitor with an import map and a shadow-aware scope stack.
+
+    Subclasses call :meth:`resolve` on expressions; the base class keeps the
+    scope stack current across function/lambda/class boundaries.  Override
+    ``visit_*`` as usual — but call ``self.generic_visit(node)`` (or
+    ``super().visit_FunctionDef(node)`` for scope nodes) to keep walking.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.imports = import_map(tree)
+        self._scopes: List[Set[str]] = []
+
+    # ------------------------------------------------------------------ #
+    def _visit_scope(self, node: ast.AST) -> None:
+        self._scopes.append(bound_names(node))
+        try:
+            self.generic_visit(node)
+        finally:
+            self._scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_scope(node)
+
+    # ------------------------------------------------------------------ #
+    def is_shadowed(self, name: str) -> bool:
+        """Whether ``name`` is bound by any enclosing function scope."""
+        return any(name in scope for scope in self._scopes)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """The dotted origin of an expression, through the import aliases.
+
+        ``None`` when the expression is not a pure name chain, its root is
+        not imported, or a local binding shadows the root.
+        """
+        parts = dotted_parts(node)
+        if parts is None:
+            return None
+        root = parts[0]
+        origin = self.imports.get(root)
+        if origin is None or self.is_shadowed(root):
+            return None
+        return ".".join([origin, *parts[1:]])

@@ -1,0 +1,91 @@
+"""The committed baseline: grandfathered findings that do not gate CI.
+
+A baseline lets the linter land with teeth even when the tree is not yet
+clean: every finding recorded in the baseline file is reported as
+*suppressed* instead of failing the run, while anything new fails
+immediately.  Entries match structurally — check id, path and message, but
+**not** line numbers, which drift with unrelated edits.  Entries that no
+longer match anything are *stale*: the debt was paid, and ``--strict``
+fails until the baseline is re-recorded, so the file can only shrink.
+
+This repo's goal state is an **empty baseline** (see ISSUE 10): intentional
+deviations belong in inline pragmas with justifications, not here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+#: Version tag of the baseline file format.
+BASELINE_FORMAT = 1
+
+
+class Baseline:
+    """A multiset of grandfathered findings, matched structurally."""
+
+    def __init__(self, findings: List[Finding] = None) -> None:  # type: ignore[assignment]
+        self._counts: Dict[Tuple[str, str, str], int] = {}
+        self._examples: Dict[Tuple[str, str, str], Finding] = {}
+        for finding in findings or []:
+            key = finding.baseline_key()
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self._examples.setdefault(key, finding)
+        self._remaining = dict(self._counts)
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    # ------------------------------------------------------------------ #
+    def absorb(self, finding: Finding) -> bool:
+        """Consume one matching entry; True when the finding was baselined.
+
+        Matching is a multiset operation: two identical findings in the
+        tree need two baseline entries, so fixing one of them surfaces the
+        other instead of hiding it forever.
+        """
+        key = finding.baseline_key()
+        left = self._remaining.get(key, 0)
+        if left <= 0:
+            return False
+        self._remaining[key] = left - 1
+        return True
+
+    def stale_entries(self) -> List[Finding]:
+        """Entries that matched nothing this run (debt already paid)."""
+        stale: List[Finding] = []
+        for key, left in sorted(self._remaining.items()):
+            if left > 0:
+                stale.extend([self._examples[key]] * left)
+        return stale
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file (an absent file is an empty baseline)."""
+        if not os.path.exists(path):
+            return cls([])
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ValueError(
+                f"{path!r} is not a lint baseline (expected a JSON object "
+                "with a 'findings' list)"
+            )
+        return cls([Finding.from_dict(entry) for entry in payload["findings"]])
+
+    @staticmethod
+    def write(path: str, findings: List[Finding]) -> None:
+        """Record ``findings`` as the new baseline, sorted and versioned."""
+        payload = {
+            "format": BASELINE_FORMAT,
+            "findings": [
+                f.to_dict() for f in sorted(findings, key=Finding.sort_key)
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")

@@ -1,0 +1,241 @@
+"""Backend-protocol conformance: subclasses honour the evaluate surface.
+
+The backend registry hands out instances through ``get_backend(name)`` and
+every consumer — the sweep runners, the batch evaluator, the fault
+injector, the serving layer — calls the same two methods:
+
+* ``evaluate(design, request) -> EvaluationResult``
+* ``evaluate_many(items, with_artifacts=True) -> list[EvaluationResult]``
+
+The built-ins are registered through a loop variable, so registration calls
+are statically opaque; conformance is therefore keyed on *inheritance*: any
+class that (transitively, within the linted files) derives from a base
+named ``Backend`` is held to the protocol.
+
+Checked, per subclass:
+
+* ``evaluate`` is implemented by the class or an intermediate ancestor in
+  the linted set (the root ``Backend.evaluate`` raises
+  ``NotImplementedError`` — inheriting only that is not an implementation);
+* an ``evaluate`` override is callable as ``evaluate(design, request)``:
+  at most two required positionals after ``self``, room for two (or
+  ``*args``), and no default-less keyword-only parameters;
+* an ``evaluate_many`` override is callable as
+  ``evaluate_many(items, with_artifacts=...)``: accepts one positional
+  after ``self`` and a ``with_artifacts`` keyword (or ``**kwargs``);
+* a literal ``name`` class attribute distinct from the abstract default —
+  a *warning* only, since some wrappers name themselves in ``__init__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.lint.findings import WARNING, Finding
+from repro.lint.registry import Checker, LintContext, register
+from repro.lint.source import SourceFile
+
+#: The protocol's root class name; matching is structural, by name.
+BASE_NAME = "Backend"
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _is_root_backend(node: ast.ClassDef) -> bool:
+    return node.name == BASE_NAME and BASE_NAME not in _base_names(node)
+
+
+def _methods(node: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _literal_name_attr(node: ast.ClassDef) -> Optional[str]:
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "name"
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            return stmt.value.value
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "name"
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            return stmt.value.value
+    return None
+
+
+class _Signature:
+    """The callable shape of a method, from its ``arguments`` node."""
+
+    def __init__(self, fn: ast.FunctionDef) -> None:
+        args = fn.args
+        positional = [*args.posonlyargs, *args.args]
+        defaults = len(args.defaults)
+        self.required_positional = len(positional) - defaults
+        self.positional_capacity = len(positional)
+        self.has_var_positional = args.vararg is not None
+        self.has_var_keyword = args.kwarg is not None
+        self.kwonly = {arg.arg for arg in args.kwonlyargs}
+        self.kwonly_without_default = {
+            arg.arg
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+            if default is None
+        }
+        self.keyword_names = {arg.arg for arg in positional} | self.kwonly
+
+    def accepts_positionals(self, n: int) -> bool:
+        """Callable with ``n`` positional arguments after ``self``?"""
+        n += 1  # self
+        if self.required_positional > n:
+            return False
+        return self.positional_capacity >= n or self.has_var_positional
+
+    def accepts_keyword(self, name: str) -> bool:
+        return name in self.keyword_names or self.has_var_keyword
+
+
+@register
+class BackendProtocolChecker(Checker):
+    """Backend subclasses structurally implement the evaluate surface."""
+
+    id = "backend-protocol"
+    description = (
+        "classes deriving from Backend must implement evaluate(design, "
+        "request) and keep evaluate_many(items, with_artifacts=...) callable"
+    )
+
+    def finish(self, ctx: LintContext) -> Iterable[Finding]:
+        # Gather every class in the linted set, remembering its file.
+        classes: Dict[str, ast.ClassDef] = {}
+        owners: Dict[str, SourceFile] = {}
+        for src in ctx.files:
+            if src.tree is None:
+                continue
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.ClassDef) and node.name not in classes:
+                    classes[node.name] = node
+                    owners[node.name] = src
+
+        root = classes.get(BASE_NAME)
+        if root is None or not _is_root_backend(root):
+            return ()  # protocol root not part of this lint run
+
+        def reaches_backend(name: str, seen: Set[str]) -> bool:
+            if name in seen:
+                return False
+            seen.add(name)
+            node = classes.get(name)
+            if node is None:
+                return False
+            for base in _base_names(node):
+                if base == BASE_NAME or reaches_backend(base, seen):
+                    return True
+            return False
+
+        def inherits_evaluate(name: str, seen: Set[str]) -> bool:
+            """An ``evaluate`` override somewhere below the root base?"""
+            if name in seen or name == BASE_NAME:
+                return False
+            seen.add(name)
+            node = classes.get(name)
+            if node is None:
+                return False
+            if "evaluate" in _methods(node):
+                return True
+            return any(inherits_evaluate(base, seen) for base in _base_names(node))
+
+        findings: List[Finding] = []
+        subclasses = sorted(
+            (
+                name
+                for name in classes
+                if name != BASE_NAME and reaches_backend(name, set())
+            ),
+            key=lambda name: (owners[name].path, classes[name].lineno),
+        )
+        for name in subclasses:
+            node = classes[name]
+            src = owners[name]
+            methods = _methods(node)
+
+            if not inherits_evaluate(name, set()):
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        f"Backend subclass {name} never implements evaluate() "
+                        "— every registry consumer calls it; the inherited "
+                        "base raises NotImplementedError",
+                    )
+                )
+            if "evaluate" in methods:
+                sig = _Signature(methods["evaluate"])
+                if not sig.accepts_positionals(2) or (
+                    sig.kwonly_without_default
+                ):
+                    findings.append(
+                        self.finding(
+                            src,
+                            methods["evaluate"],
+                            f"{name}.evaluate is not callable as "
+                            "evaluate(design, request) — consumers pass "
+                            "exactly two positional arguments",
+                        )
+                    )
+            if "evaluate_many" in methods:
+                sig = _Signature(methods["evaluate_many"])
+                problems = []
+                if not sig.accepts_positionals(1):
+                    problems.append("one positional items argument")
+                if not sig.accepts_keyword("with_artifacts"):
+                    problems.append("a with_artifacts keyword")
+                leftovers = sig.kwonly_without_default - {"with_artifacts"}
+                if leftovers:
+                    problems.append(
+                        "no extra required keyword-only parameters "
+                        f"({', '.join(sorted(leftovers))})"
+                    )
+                if problems:
+                    findings.append(
+                        self.finding(
+                            src,
+                            methods["evaluate_many"],
+                            f"{name}.evaluate_many must accept "
+                            + " and ".join(problems)
+                            + " to stay callable as evaluate_many(items, "
+                            "with_artifacts=...)",
+                        )
+                    )
+            literal = _literal_name_attr(node)
+            if literal is None or literal == "abstract":
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        f"Backend subclass {name} declares no literal name "
+                        "class attribute — registry listings show the "
+                        "abstract placeholder",
+                        severity=WARNING,
+                    )
+                )
+        return findings

@@ -1,0 +1,186 @@
+"""Canonical-field discipline: record dicts stay within ``CANONICAL_FIELDS``.
+
+``PointRecord.canonical()`` is the byte-identical projection the
+determinism contract serialises; ``to_json_dict()`` is the checkpoint
+payload built on top of it.  Any key written into one of these dicts that
+is not a canonical field changes canonical bytes (breaking serial/parallel
+parity) or silently drops on the ``from_json_dict`` round-trip.  Meta-only
+data must go under ``record.meta`` — never as a sibling key.
+
+This pass resolves the ``CANONICAL_FIELDS`` tuple from wherever it is
+defined among the linted files (cross-module), then flags, per file, every
+literal-key write into a local variable that was assigned from a
+``.canonical()`` or ``.to_json_dict()`` call:
+
+* ``payload = record.canonical(); payload["note"] = ...`` — flagged;
+* ``payload["meta"] = ...`` — allowed (the one sanctioned extension);
+* ``payload = record.to_json_dict(); payload["kind"] = "record"`` — allowed
+  (the JSONL envelope tag the checkpoint layer adds);
+* ``payload.update({"note": ...})`` — flagged too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, LintContext, register
+from repro.lint.source import SourceFile
+
+#: Projection methods whose results are tracked, with their extra allowances.
+_SOURCES: Dict[str, Tuple[str, ...]] = {
+    "canonical": ("meta",),
+    "to_json_dict": ("meta", "kind"),
+}
+
+
+def find_canonical_fields(ctx: LintContext) -> Optional[Set[str]]:
+    """The ``CANONICAL_FIELDS`` literal among the linted files, if any."""
+    for src in ctx.files:
+        if src.tree is None:
+            continue
+        for node in ast.walk(src.tree):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "CANONICAL_FIELDS"
+                and isinstance(node.value, (ast.Tuple, ast.List))
+            ):
+                fields = {
+                    elt.value
+                    for elt in node.value.elts
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                }
+                if fields:
+                    return fields
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    """Track canonical-dict locals per function scope and check writes."""
+
+    def __init__(
+        self, checker: "CanonicalFieldsChecker", src: SourceFile, fields: Set[str]
+    ) -> None:
+        self.checker = checker
+        self.src = src
+        self.fields = fields
+        self.found: List[Finding] = []
+        self._frames: List[Dict[str, str]] = [{}]
+
+    # ------------------------------------------------------------------ #
+    def _visit_scope(self, node: ast.AST) -> None:
+        self._frames.append({})
+        try:
+            self.generic_visit(node)
+        finally:
+            self._frames.pop()
+
+    visit_FunctionDef = _visit_scope
+    visit_AsyncFunctionDef = _visit_scope
+    visit_Lambda = _visit_scope
+
+    def _kind_of(self, name: str) -> Optional[str]:
+        for frame in reversed(self._frames):
+            if name in frame:
+                return frame[name]
+        return None
+
+    # ------------------------------------------------------------------ #
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # `payload = record.canonical()` marks `payload` as tracked;
+        # any other reassignment of the same name clears the mark.
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            target = node.targets[0].id
+            kind = None
+            if (
+                isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Attribute)
+                and node.value.func.attr in _SOURCES
+            ):
+                kind = node.value.func.attr
+            if kind is not None:
+                self._frames[-1][target] = kind
+            else:
+                self._frames[-1].pop(target, None)
+        for target in node.targets:
+            self._check_subscript_write(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_subscript_write(node.target)
+        self.generic_visit(node)
+
+    def _check_subscript_write(self, target: ast.AST) -> None:
+        if not (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and isinstance(target.slice, ast.Constant)
+            and isinstance(target.slice.value, str)
+        ):
+            return
+        kind = self._kind_of(target.value.id)
+        if kind is None:
+            return
+        self._check_key(target, kind, target.slice.value)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # `payload.update({...})` with literal keys.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "update"
+            and isinstance(node.func.value, ast.Name)
+        ):
+            kind = self._kind_of(node.func.value.id)
+            if kind is not None:
+                for arg in node.args:
+                    if isinstance(arg, ast.Dict):
+                        for key in arg.keys:
+                            if isinstance(key, ast.Constant) and isinstance(
+                                key.value, str
+                            ):
+                                self._check_key(key, kind, key.value)
+                for keyword in node.keywords:
+                    if keyword.arg is not None:
+                        self._check_key(keyword, kind, keyword.arg)
+        self.generic_visit(node)
+
+    def _check_key(self, node: ast.AST, kind: str, key: str) -> None:
+        if key in self.fields or key in _SOURCES[kind]:
+            return
+        allowed = ", ".join(repr(k) for k in _SOURCES[kind])
+        self.found.append(
+            self.checker.finding(
+                self.src,
+                node,
+                f"key {key!r} written into a .{kind}() record dict is not in "
+                f"CANONICAL_FIELDS (extra keys allowed here: {allowed}) — "
+                "meta-only data belongs under record.meta",
+            )
+        )
+
+
+@register
+class CanonicalFieldsChecker(Checker):
+    """Writes into canonical record dicts stay within CANONICAL_FIELDS."""
+
+    id = "canonical-fields"
+    description = (
+        "keys written into .canonical()/.to_json_dict() record dicts must "
+        "stay within CANONICAL_FIELDS (+meta/envelope)"
+    )
+
+    def finish(self, ctx: LintContext) -> Iterable[Finding]:
+        fields = find_canonical_fields(ctx)
+        if fields is None:
+            return ()  # record module not part of this lint — nothing to hold
+        findings: List[Finding] = []
+        for src in ctx.files:
+            if src.tree is None:
+                continue
+            visitor = _Visitor(self, src, fields)
+            visitor.visit(src.tree)
+            findings.extend(visitor.found)
+        return findings

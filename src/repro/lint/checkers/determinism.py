@@ -1,0 +1,196 @@
+"""Determinism checker: no wall clocks, no unseeded RNG in canonical paths.
+
+The replay contract (byte-identical serial/parallel/replayed campaigns)
+only holds while the canonical modules — the sweep engine, the fault
+machinery, the compilation pipeline and the serving path — derive every
+value that can reach canonical output from their inputs.  A stray
+``time.time()`` or module-level ``random.random()`` breaks that silently:
+tests pass, replay drifts.  This checker flags, inside the configured
+module prefixes:
+
+* **wall-clock reads** — ``time.time`` / ``time.time_ns`` and the
+  ``datetime.now/utcnow/today`` family, whether called or referenced (a
+  reference as a default ``clock=`` argument is still a wall-clock read at
+  run time).  Monotonic pacing clocks (``time.monotonic``,
+  ``time.perf_counter``) are deliberately allowed: they feed rates and
+  timeouts, never canonical values;
+* **unseeded RNG** — the module-level ``random.*`` functions (the shared
+  global generator), ``random.Random()`` with no seed, bare
+  ``numpy.random.default_rng()`` and the legacy ``numpy.random.*`` global
+  API.  Seeded constructions (``random.Random(seed)``,
+  ``default_rng(seed)``) pass.
+
+Sanctioned sites — attribution stamps, injected clock seams, client-side
+retry jitter — carry ``# repro: allow[determinism]`` pragmas with a one-line
+justification each; that pragma list *is* the allowlist.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.lint.astutil import ScopedVisitor
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, LintContext, register
+from repro.lint.source import SourceFile
+
+#: Module prefixes whose code may feed canonical/replayed output.
+DEFAULT_CANONICAL_PREFIXES: Tuple[str, ...] = (
+    "repro.sweep",
+    "repro.faults",
+    "repro.pipeline",
+    "repro.serve",
+)
+
+#: Wall-clock reads (flagged on reference, not just call: default-argument
+#: seams like ``clock=time.time`` execute at call time).
+WALL_CLOCKS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Module-level functions of the shared ``random`` global generator.
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "triangular",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "getrandbits",
+        "randbytes",
+        "seed",
+    }
+)
+
+
+class _Visitor(ScopedVisitor):
+    def __init__(self, checker: "DeterminismChecker", src: SourceFile) -> None:
+        super().__init__(src.tree)
+        self.checker = checker
+        self.src = src
+        self.found: List[Finding] = []
+        self._call_funcs: set = set()
+
+    # ------------------------------------------------------------------ #
+    def visit_Call(self, node: ast.Call) -> None:
+        self._call_funcs.add(id(node.func))
+        origin = self.resolve(node.func)
+        if origin is not None:
+            self._check_rng_call(node, origin)
+        self.generic_visit(node)
+
+    def _check_rng_call(self, node: ast.Call, origin: str) -> None:
+        if origin == "random.Random" and not node.args and not node.keywords:
+            self.found.append(
+                self.checker.finding(
+                    self.src,
+                    node,
+                    "unseeded random.Random() — derive the seed from the "
+                    "campaign/point identity so runs replay identically",
+                )
+            )
+        elif origin.startswith("random.") and origin.rsplit(".", 1)[1] in GLOBAL_RANDOM_FUNCS:
+            self.found.append(
+                self.checker.finding(
+                    self.src,
+                    node,
+                    f"{origin}() uses the shared global RNG — construct a "
+                    "seeded random.Random(...) instead",
+                )
+            )
+        elif origin == "numpy.random.default_rng" and not node.args and not node.keywords:
+            self.found.append(
+                self.checker.finding(
+                    self.src,
+                    node,
+                    "numpy.random.default_rng() without a seed is entropy-"
+                    "seeded — pass an explicit seed",
+                )
+            )
+        elif origin.startswith("numpy.random.") and origin != "numpy.random.default_rng":
+            self.found.append(
+                self.checker.finding(
+                    self.src,
+                    node,
+                    f"{origin}() uses numpy's legacy global RNG — use "
+                    "numpy.random.default_rng(seed)",
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    def _check_clock(self, node: ast.AST) -> None:
+        origin = self.resolve(node)
+        if origin in WALL_CLOCKS:
+            self.found.append(
+                self.checker.finding(
+                    self.src,
+                    node,
+                    f"wall-clock read {origin} in canonical module "
+                    f"{self.src.module!r} — inject a clock (or pragma-allow "
+                    "a sanctioned attribution site)",
+                )
+            )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._check_clock(node)
+        # Children of an already-inspected chain re-resolve to prefixes of
+        # the same dotted name, which are never in the banned sets.
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        # Catches `from time import time; ... time()` style references.
+        if isinstance(node.ctx, ast.Load):
+            self._check_clock(node)
+        self.generic_visit(node)
+
+
+@register
+class DeterminismChecker(Checker):
+    """No wall-clock reads or unseeded RNG in canonical modules."""
+
+    id = "determinism"
+    description = (
+        "wall-clock reads and unseeded/global RNG are banned in replay-"
+        "critical modules (sweep, faults, pipeline, serve)"
+    )
+
+    def __init__(self, prefixes: Sequence[str] = DEFAULT_CANONICAL_PREFIXES) -> None:
+        self.prefixes = tuple(prefixes)
+
+    def _in_scope(self, module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.prefixes
+        )
+
+    def check_file(self, src: SourceFile, ctx: LintContext) -> Iterable[Finding]:
+        if not self._in_scope(src.module):
+            return ()
+        visitor = _Visitor(self, src)
+        visitor.visit(src.tree)
+        return visitor.found

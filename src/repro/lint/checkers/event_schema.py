@@ -1,0 +1,211 @@
+"""Event-schema completeness: every ``RunEvent`` must round-trip everywhere.
+
+The campaign event stream is consumed by three independent modules that
+each maintain a *hand-written* enumeration of event kinds:
+
+* the **event-log serializer/replayer** (:mod:`repro.sweep.eventlog`) maps
+  kinds to classes in its ``_RECORD_EVENTS`` / ``_FLAT_EVENTS`` dicts — an
+  unregistered event silently vanishes from persistence *and* replay
+  (``event_from_payload`` rebuilds from the same maps);
+* the **follow dispatcher** (``_EventLogTailer._consume`` in
+  :mod:`repro.sweep.follow`) branches on the kind strings — an unhandled
+  kind is silently dropped by cross-process tailers.
+
+Nothing ties these enumerations to the dataclasses in
+:mod:`repro.sweep.events`; PR 5 and PR 9 each had to update all three by
+hand.  This cross-module pass closes the loop statically: it discovers the
+``RunEvent`` subclasses (any module defining a class literally named
+``RunEvent``), the serializer maps and the ``_consume`` dispatchers among
+the linted files, and reports every event kind missing from either side.
+Deliberately ignored kinds take an explicit no-op branch (self-documenting)
+or a pragma at the class definition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, NamedTuple, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, LintContext, register
+from repro.lint.source import SourceFile
+
+#: The serializer registry names the eventlog module must keep complete.
+SERIALIZER_MAPS = ("_RECORD_EVENTS", "_FLAT_EVENTS")
+
+
+class _Event(NamedTuple):
+    cls_name: str
+    kind: str
+    src: SourceFile
+    node: ast.ClassDef
+
+
+def _class_kind(node: ast.ClassDef) -> str:
+    """The literal ``kind = "..."`` class attribute, or ''."""
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "kind"
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            return stmt.value.value
+    return ""
+
+
+def _event_classes(src: SourceFile) -> List[_Event]:
+    """RunEvent subclasses (transitively, within the file), with kinds."""
+    classes: Dict[str, ast.ClassDef] = {
+        node.name: node
+        for node in ast.walk(src.tree)
+        if isinstance(node, ast.ClassDef)
+    }
+    if "RunEvent" not in classes:
+        return []
+
+    def reaches_runevent(name: str, seen: Set[str]) -> bool:
+        if name in seen:
+            return False
+        seen.add(name)
+        node = classes.get(name)
+        if node is None:
+            return False
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                if base.id == "RunEvent" or reaches_runevent(base.id, seen):
+                    return True
+        return False
+
+    events: List[_Event] = []
+    for name, node in classes.items():
+        if name == "RunEvent" or not reaches_runevent(name, set()):
+            continue
+        events.append(_Event(name, _class_kind(node), src, node))
+    events.sort(key=lambda e: e.node.lineno)
+    return events
+
+
+def _serializer_registrations(src: SourceFile) -> Tuple[Set[str], Set[str], bool]:
+    """(kinds, class names) registered in the serializer maps, + presence."""
+    kinds: Set[str] = set()
+    names: Set[str] = set()
+    present = False
+    for node in ast.walk(src.tree):
+        if not (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id in SERIALIZER_MAPS
+            and isinstance(node.value, ast.Dict)
+        ):
+            continue
+        present = True
+        for key, value in zip(node.value.keys, node.value.values):
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                kinds.add(key.value)
+            if isinstance(value, ast.Name):
+                names.add(value.id)
+    return kinds, names, present
+
+
+def _consume_kind_strings(src: SourceFile) -> Tuple[Set[str], bool]:
+    """String constants inside ``_consume`` dispatcher methods, + presence."""
+    strings: Set[str] = set()
+    present = False
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "_consume"
+            ):
+                present = True
+                for child in ast.walk(stmt):
+                    if isinstance(child, ast.Constant) and isinstance(
+                        child.value, str
+                    ):
+                        strings.add(child.value)
+    return strings, present
+
+
+@register
+class EventSchemaChecker(Checker):
+    """Every RunEvent registered in serializer, replay and follow."""
+
+    id = "event-schema"
+    description = (
+        "every RunEvent dataclass must be registered in the event-log "
+        "serializer/replay maps and handled by the follow dispatcher"
+    )
+
+    def finish(self, ctx: LintContext) -> Iterable[Finding]:
+        events: List[_Event] = []
+        for src in ctx.files:
+            if src.tree is not None:
+                events.extend(_event_classes(src))
+        if not events:
+            return ()
+
+        serializer_kinds: Set[str] = set()
+        serializer_names: Set[str] = set()
+        serializer_files: List[str] = []
+        follow_strings: Set[str] = set()
+        follow_files: List[str] = []
+        for src in ctx.files:
+            if src.tree is None:
+                continue
+            kinds, names, present = _serializer_registrations(src)
+            if present:
+                serializer_kinds |= kinds
+                serializer_names |= names
+                serializer_files.append(src.path)
+            strings, present = _consume_kind_strings(src)
+            if present:
+                follow_strings |= strings
+                follow_files.append(src.path)
+
+        findings: List[Finding] = []
+        for event in events:
+            if not event.kind:
+                findings.append(
+                    self.finding(
+                        event.src,
+                        event.node,
+                        f"RunEvent subclass {event.cls_name} defines no literal "
+                        "kind tag — observers and serializers dispatch on it",
+                    )
+                )
+                continue
+            # Serializer + replay: both read the same registry dicts, so one
+            # membership test covers persistence and reconstruction.
+            if serializer_files and (
+                event.kind not in serializer_kinds
+                or event.cls_name not in serializer_names
+            ):
+                findings.append(
+                    self.finding(
+                        event.src,
+                        event.node,
+                        f"{event.cls_name} (kind {event.kind!r}) is not "
+                        "registered in the event-log serializer maps "
+                        f"({'/'.join(SERIALIZER_MAPS)} in "
+                        f"{', '.join(serializer_files)}) — events of this kind "
+                        "would be lost by persistence and replay",
+                    )
+                )
+            if follow_files and event.kind not in follow_strings:
+                findings.append(
+                    self.finding(
+                        event.src,
+                        event.node,
+                        f"{event.cls_name} (kind {event.kind!r}) is not handled "
+                        "by the follow dispatcher (_consume in "
+                        f"{', '.join(follow_files)}) — add a branch (an explicit "
+                        "no-op documents a deliberate ignore)",
+                    )
+                )
+        return findings

@@ -1,0 +1,129 @@
+"""Picklability: what crosses a process boundary must survive pickling.
+
+``ProcessPoolRunner`` ships chunk payloads to workers through
+:mod:`pickle`; the backend registry is re-materialised inside spawned
+workers from registered *factories*.  Lambdas, closures and classes defined
+inside functions pickle by qualified name — i.e. not at all — so passing
+one to a pool submission site or registering one as a backend works until
+the first spawn-context pool (or the first real distributed runner, see
+ROADMAP) and then dies far from the definition.
+
+Flagged, per file:
+
+* a ``lambda`` argument to any ``<pool>.submit(...)`` call, or to
+  ``<pool>.map(...)`` when the receiver looks like an executor;
+* a function or class *defined inside a function* passed by name to those
+  sites (closures capture frames; local classes have no importable name);
+* the same two shapes as the factory argument of ``register_backend``.
+
+Fork-inherited registries that never cross a pickle boundary are the one
+sanctioned exception — pragma such sites with the justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, LintContext, register
+from repro.lint.source import SourceFile
+
+#: Receiver-name fragments that mark ``.map`` as a pool/executor call.
+_EXECUTOR_HINTS = ("pool", "executor")
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, checker: "PicklabilityChecker", src: SourceFile) -> None:
+        self.checker = checker
+        self.src = src
+        self.found: List[Finding] = []
+        #: name → "function"/"class" for defs nested inside functions,
+        #: per enclosing function scope (module-level defs are picklable).
+        self._local_defs: List[Dict[str, str]] = []
+
+    # ------------------------------------------------------------------ #
+    def _visit_function(self, node) -> None:
+        if self._local_defs:
+            self._local_defs[-1][node.name] = "function"
+        self._local_defs.append({})
+        try:
+            self.generic_visit(node)
+        finally:
+            self._local_defs.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._local_defs:
+            self._local_defs[-1][node.name] = "class"
+        self.generic_visit(node)
+
+    def _local_kind(self, name: str) -> str:
+        for frame in reversed(self._local_defs):
+            if name in frame:
+                return frame[name]
+        return ""
+
+    # ------------------------------------------------------------------ #
+    def _check_arg(self, node: ast.AST, where: str) -> None:
+        if isinstance(node, ast.Lambda):
+            self.found.append(
+                self.checker.finding(
+                    self.src,
+                    node,
+                    f"lambda passed to {where} cannot be pickled across a "
+                    "process boundary — use a module-level function",
+                )
+            )
+        elif isinstance(node, ast.Name):
+            kind = self._local_kind(node.id)
+            if kind:
+                self.found.append(
+                    self.checker.finding(
+                        self.src,
+                        node,
+                        f"locally defined {kind} {node.id!r} passed to {where} "
+                        "— nested definitions don't pickle; hoist it to module "
+                        "level",
+                    )
+                )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "submit":
+                for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                    self._check_arg(arg, "a pool submission site (.submit)")
+            elif func.attr == "map" and isinstance(func.value, ast.Name):
+                receiver = func.value.id.lower()
+                if any(hint in receiver for hint in _EXECUTOR_HINTS):
+                    for arg in node.args:
+                        self._check_arg(arg, "an executor .map call")
+        terminal = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if terminal == "register_backend":
+            factories = list(node.args[1:]) + [
+                kw.value for kw in node.keywords if kw.arg in (None, "factory")
+            ]
+            for arg in factories:
+                self._check_arg(arg, "register_backend (backend factory)")
+        self.generic_visit(node)
+
+
+@register
+class PicklabilityChecker(Checker):
+    """No lambdas/closures/local classes at pool or registry seams."""
+
+    id = "picklability"
+    description = (
+        "pool submission sites and backend registration must receive "
+        "module-level (picklable) callables"
+    )
+
+    def check_file(self, src: SourceFile, ctx: LintContext) -> Iterable[Finding]:
+        visitor = _Visitor(self, src)
+        visitor.visit(src.tree)
+        return visitor.found

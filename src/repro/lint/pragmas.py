@@ -1,0 +1,94 @@
+"""Inline suppression: ``# repro: allow[check-id] justification``.
+
+A pragma comment acknowledges one *intentional* contract deviation at one
+site — the attribution stamps that legitimately read the wall clock, the
+fork-inherited backend factory that never crosses a pickle boundary.  The
+syntax is deliberately narrow:
+
+* ``# repro: allow[determinism]`` — suppress one check on this line;
+* ``# repro: allow[determinism,picklability]`` — several checks;
+* ``# repro: allow[*]`` — every check (discouraged; reviewers should see
+  exactly which contract is being waived);
+* everything after the closing bracket is the justification, which the
+  satellite convention requires to be non-empty.
+
+A trailing pragma covers the physical line it sits on.  A *standalone*
+pragma (a line containing only the comment) covers the next line instead,
+for sites whose statement line has no room — decorated defs, long
+signatures.  Comments are found with :mod:`tokenize`, so a pragma-shaped
+string literal never suppresses anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, List, NamedTuple
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<checks>[^\]]*)\]\s*(?P<why>.*)$"
+)
+
+
+class Pragma(NamedTuple):
+    """One parsed suppression comment."""
+
+    line: int  #: line the comment sits on
+    checks: FrozenSet[str]  #: suppressed check ids ("*" = all)
+    justification: str  #: free text after the bracket
+    standalone: bool  #: comment-only line (covers the next line)
+
+
+def parse_pragmas(text: str) -> List[Pragma]:
+    """Every ``repro: allow`` pragma in ``text``, via the tokenizer."""
+    pragmas: List[Pragma] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return pragmas  # unparseable source produces a syntax finding anyway
+    lines = text.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        checks = frozenset(
+            part.strip() for part in match.group("checks").split(",") if part.strip()
+        )
+        if not checks:
+            continue
+        line_no = token.start[0]
+        source_line = lines[line_no - 1] if line_no - 1 < len(lines) else ""
+        standalone = source_line.strip().startswith("#")
+        pragmas.append(
+            Pragma(
+                line=line_no,
+                checks=checks,
+                justification=match.group("why").strip(),
+                standalone=standalone,
+            )
+        )
+    return pragmas
+
+
+class PragmaMap:
+    """Line → suppressed-checks lookup for one source file."""
+
+    def __init__(self, text: str) -> None:
+        self.pragmas = parse_pragmas(text)
+        self._by_line: Dict[int, FrozenSet[str]] = {}
+        for pragma in self.pragmas:
+            # A trailing pragma covers its own line; a standalone pragma
+            # covers the statement on the next line.
+            covered = pragma.line + 1 if pragma.standalone else pragma.line
+            merged = self._by_line.get(covered, frozenset()) | pragma.checks
+            self._by_line[covered] = merged
+
+    def allows(self, line: int, check: str) -> bool:
+        """Whether a finding of ``check`` on ``line`` is suppressed."""
+        checks = self._by_line.get(line)
+        if not checks:
+            return False
+        return "*" in checks or check in checks

@@ -1,0 +1,126 @@
+"""Parsed source files: the unit every checker operates on.
+
+A :class:`SourceFile` bundles the path (as given, for findings), the dotted
+module name (derived from the package layout on disk, so path-scoped checks
+like determinism can match ``repro.sweep.*`` without importing anything),
+the parsed AST and the file's pragma map.  Collection walks directories for
+``*.py``, skipping caches and hidden trees; syntax errors become findings
+rather than crashes, so one broken file cannot hide the rest of the report.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lint.findings import ERROR, Finding
+from repro.lint.pragmas import PragmaMap
+
+_SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".pytest_cache", ".ruff_cache"}
+
+
+def module_name_for(path: str) -> str:
+    """The dotted module a file would import as, from ``__init__.py`` layout.
+
+    Walks upward while parent directories are packages, so
+    ``src/repro/sweep/events.py`` → ``repro.sweep.events`` regardless of
+    where the lint was invoked from.  A stray file outside any package is
+    just its stem.
+    """
+    path = os.path.abspath(path)
+    directory, filename = os.path.split(path)
+    stem = os.path.splitext(filename)[0]
+    parts: List[str] = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        if not package:
+            break
+        parts.append(package)
+    return ".".join(reversed(parts)) if parts else stem
+
+
+@dataclass
+class SourceFile:
+    """One parsed python file, ready for per-file and cross-module passes."""
+
+    path: str  #: path as reported in findings (relative when possible)
+    module: str  #: dotted module name derived from the package layout
+    text: str
+    tree: Optional[ast.AST]
+    pragmas: PragmaMap = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @classmethod
+    def load(cls, path: str, display: Optional[str] = None) -> Tuple["SourceFile", Optional[Finding]]:
+        """Parse ``path``; returns the file plus a syntax finding when broken."""
+        shown = display if display is not None else path
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        finding: Optional[Finding] = None
+        try:
+            tree: Optional[ast.AST] = ast.parse(text, filename=shown)
+        except SyntaxError as exc:
+            tree = None
+            finding = Finding(
+                check="syntax",
+                path=shown,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+                severity=ERROR,
+            )
+        src = cls(
+            path=shown,
+            module=module_name_for(path),
+            text=text,
+            tree=tree,
+            pragmas=PragmaMap(text),
+        )
+        return src, finding
+
+
+def _display_path(path: str) -> str:
+    """Relative-to-cwd when that is shorter and does not escape upward."""
+    rel = os.path.relpath(path)
+    return path if rel.startswith("..") else rel
+
+
+def collect_sources(paths: Sequence[str]) -> Tuple[List[SourceFile], List[Finding]]:
+    """Load every python file under ``paths`` (files or directories).
+
+    Returns the parsed files in a deterministic order plus the syntax
+    findings for files that failed to parse.  Missing paths raise — a typo
+    on the CLI should not silently lint nothing.
+    """
+    seen = set()
+    file_paths: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            candidates = [path]
+        elif os.path.isdir(path):
+            candidates = []
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in _SKIP_DIRS and not d.startswith(".")
+                )
+                candidates.extend(
+                    os.path.join(root, name)
+                    for name in sorted(names)
+                    if name.endswith(".py")
+                )
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+        for candidate in candidates:
+            real = os.path.abspath(candidate)
+            if real not in seen:
+                seen.add(real)
+                file_paths.append(candidate)
+    sources: List[SourceFile] = []
+    findings: List[Finding] = []
+    for path in file_paths:
+        src, finding = SourceFile.load(path, display=_display_path(path))
+        sources.append(src)
+        if finding is not None:
+            findings.append(finding)
+    return sources, findings

@@ -156,6 +156,7 @@ class ServeClient:
         ``deadline_s`` (None waits as long as the attempts allow) — the
         last rejection is re-raised when either budget runs out.
         """
+        # repro: allow[determinism] client-side retry jitter — desynchronises peers, never reaches canonical output
         rng = rng if rng is not None else random.Random()
         started = time.monotonic()
         for attempt in range(max_attempts):
@@ -285,6 +286,7 @@ class AsyncServeClient:
         ``deadline_s``; the last rejection is re-raised when either budget
         runs out.
         """
+        # repro: allow[determinism] client-side retry jitter — desynchronises peers, never reaches canonical output
         rng = rng if rng is not None else random.Random()
         started = time.monotonic()
         for attempt in range(max_attempts):

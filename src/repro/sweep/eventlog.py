@@ -150,6 +150,7 @@ class EventLogObserver(RunObserver):
     per session, exactly like a live :class:`ProgressReporter`).
     """
 
+    # repro: allow[determinism] injected clock seam — tests pass a fake; ts is advisory metadata
     def __init__(self, path: str, clock: Callable[[], float] = time.time) -> None:
         self.path = os.fspath(path)
         self._clock = clock

@@ -379,6 +379,11 @@ class _EventLogTailer(_JsonlTailer):
         elif kind == "campaign_finished":
             self.finished = True
             self.marker_failed = int(data.get("failed") or 0)
+        elif kind == "checkpoint_flushed":
+            # Deliberate no-op: flushes mark durability, not progress — the
+            # per-point events above already carry everything the follower
+            # displays.
+            pass
         return 0
 
     def _reset_state(self) -> None:

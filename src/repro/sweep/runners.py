@@ -130,6 +130,7 @@ def _begin_stamp() -> Dict[str, Any]:
         _SEQ_PID = pid
         _WORKER_SEQ = 0
     _WORKER_SEQ += 1
+    # repro: allow[determinism] attribution stamp — lands in record.meta, never in canonical bytes
     return {"worker": pid, "started_ts": time.time(), "worker_seq": _WORKER_SEQ}
 
 
@@ -171,7 +172,7 @@ def _evaluate_point(
         "eval_seconds": t2 - t1,
         "run": run_index,
         **stamp,
-        "finished_ts": time.time(),
+        "finished_ts": time.time(),  # repro: allow[determinism] attribution stamp in meta only
     }
     if result.perf:
         # Backend performance telemetry (the simulate backend's scheduler
@@ -278,7 +279,7 @@ def _price_analytic_span(
     t2 = time.perf_counter()
     eval_share = (t2 - t1) / len(points)
     wall_share = (t2 - t0) / len(points)
-    finished_ts = time.time()
+    finished_ts = time.time()  # repro: allow[determinism] attribution stamp in meta only
     cache_counters = _cache_meta(cache_baseline)
     records = []
     for index, (point, result) in enumerate(zip(points, results)):

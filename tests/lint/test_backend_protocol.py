@@ -1,0 +1,141 @@
+"""Structural Backend-protocol conformance."""
+
+from tests.lint.conftest import finding_lines, finding_messages
+
+BASE = '''\
+class Backend:
+    name = "abstract"
+
+    def evaluate(self, design, request):
+        raise NotImplementedError
+
+    def evaluate_many(self, items, with_artifacts=True):
+        return [self.evaluate(d, r) for d, r in items]
+'''
+
+GOOD = '''\
+from repro.pipeline.backends import Backend
+
+
+class SimBackend(Backend):
+    name = "sim"
+
+    def evaluate(self, design, request):
+        return (design, request)
+'''
+
+
+def test_conforming_subclass_is_clean(make_tree):
+    report = make_tree(
+        {
+            "repro/pipeline/backends.py": BASE,
+            "repro/pipeline/sim.py": GOOD,
+        }
+    )
+    assert finding_lines(report, "backend-protocol") == []
+
+
+def test_missing_evaluate_is_reported(make_tree):
+    source = (
+        "from repro.pipeline.backends import Backend\n"
+        "\n"
+        "\n"
+        "class HollowBackend(Backend):\n"
+        "    name = 'hollow'\n"
+    )
+    report = make_tree(
+        {"repro/pipeline/backends.py": BASE, "repro/pipeline/h.py": source}
+    )
+    messages = finding_messages(report, "backend-protocol")
+    assert len(messages) == 1
+    assert "never implements evaluate" in messages[0]
+
+
+def test_wrong_evaluate_arity(make_tree):
+    source = (
+        "from repro.pipeline.backends import Backend\n"
+        "\n"
+        "\n"
+        "class OddBackend(Backend):\n"
+        "    name = 'odd'\n"
+        "\n"
+        "    def evaluate(self, design):\n"
+        "        return design\n"
+    )
+    report = make_tree(
+        {"repro/pipeline/backends.py": BASE, "repro/pipeline/o.py": source}
+    )
+    messages = finding_messages(report, "backend-protocol")
+    assert any("evaluate(design, request)" in m for m in messages)
+
+
+def test_evaluate_many_must_accept_with_artifacts(make_tree):
+    source = (
+        "from repro.pipeline.backends import Backend\n"
+        "\n"
+        "\n"
+        "class BatchBackend(Backend):\n"
+        "    name = 'batch'\n"
+        "\n"
+        "    def evaluate(self, design, request):\n"
+        "        return design\n"
+        "\n"
+        "    def evaluate_many(self, items):\n"
+        "        return list(items)\n"
+    )
+    report = make_tree(
+        {"repro/pipeline/backends.py": BASE, "repro/pipeline/b.py": source}
+    )
+    messages = finding_messages(report, "backend-protocol")
+    assert any("with_artifacts" in m for m in messages)
+
+
+def test_missing_name_is_a_warning_not_an_error(make_tree):
+    source = (
+        "from repro.pipeline.backends import Backend\n"
+        "\n"
+        "\n"
+        "class Wrapper(Backend):\n"
+        "    def __init__(self, inner):\n"
+        "        self.name = inner.name\n"
+        "\n"
+        "    def evaluate(self, design, request):\n"
+        "        return design\n"
+    )
+    report = make_tree(
+        {"repro/pipeline/backends.py": BASE, "repro/pipeline/w.py": source}
+    )
+    warnings = [
+        f for f in report.findings if f.check == "backend-protocol"
+    ]
+    assert len(warnings) == 1 and warnings[0].severity == "warning"
+    # Warnings never gate a default run, only --strict.
+    assert report.exit_code(strict=False) == 0
+    assert report.exit_code(strict=True) == 1
+
+
+def test_inherited_evaluate_through_intermediate_class(make_tree):
+    source = (
+        "from repro.pipeline.backends import Backend\n"
+        "\n"
+        "\n"
+        "class MidBackend(Backend):\n"
+        "    name = 'mid'\n"
+        "\n"
+        "    def evaluate(self, design, request):\n"
+        "        return design\n"
+        "\n"
+        "\n"
+        "class LeafBackend(MidBackend):\n"
+        "    name = 'leaf'\n"
+    )
+    report = make_tree(
+        {"repro/pipeline/backends.py": BASE, "repro/pipeline/chain.py": source}
+    )
+    assert finding_lines(report, "backend-protocol") == []
+
+
+def test_pass_skips_without_protocol_root(make_tree):
+    # A tree without the Backend base (partial lint) holds nothing to it.
+    report = make_tree({"repro/pipeline/sim.py": GOOD})
+    assert finding_lines(report, "backend-protocol") == []

@@ -1,0 +1,80 @@
+"""Canonical-field discipline on synthetic record/consumer pairs."""
+
+from tests.lint.conftest import finding_lines, finding_messages
+
+RECORD = '''\
+CANONICAL_FIELDS = ("key", "label", "cycles", "extra")
+
+
+class PointRecord:
+    def canonical(self):
+        return {}
+
+    def to_json_dict(self):
+        payload = self.canonical()
+        payload["meta"] = {}
+        return payload
+'''
+
+GOOD_CONSUMER = '''\
+def persist(record):
+    payload = record.to_json_dict()
+    payload["kind"] = "record"  # the JSONL envelope tag
+    return payload
+
+
+def project(record):
+    data = record.canonical()
+    data["meta"] = {"worker": 3}
+    data["cycles"] = 0
+    return data
+'''
+
+BAD_CONSUMER = '''\
+def decorate(record):
+    payload = record.canonical()
+    payload["note"] = "hi"
+    payload.update({"debug": True})
+    return payload
+'''
+
+
+def test_disciplined_consumers_are_clean(make_tree):
+    report = make_tree(
+        {
+            "repro/sweep/record.py": RECORD,
+            "repro/sweep/checkpoint.py": GOOD_CONSUMER,
+        }
+    )
+    assert finding_lines(report, "canonical-fields") == []
+
+
+def test_out_of_contract_keys_are_flagged(make_tree):
+    report = make_tree(
+        {
+            "repro/sweep/record.py": RECORD,
+            "repro/sweep/rogue.py": BAD_CONSUMER,
+        }
+    )
+    assert finding_lines(report, "canonical-fields") == [3, 4]
+    messages = " ".join(finding_messages(report, "canonical-fields"))
+    assert "'note'" in messages and "'debug'" in messages
+
+
+def test_reassignment_clears_tracking(make_tree):
+    source = (
+        "def rebuild(record):\n"
+        "    payload = record.canonical()\n"
+        "    payload = {}\n"
+        "    payload['anything'] = 1  # a plain dict now\n"
+        "    return payload\n"
+    )
+    report = make_tree(
+        {"repro/sweep/record.py": RECORD, "repro/sweep/re.py": source}
+    )
+    assert finding_lines(report, "canonical-fields") == []
+
+
+def test_pass_skips_without_canonical_fields_definition(make_tree):
+    report = make_tree({"repro/sweep/rogue.py": BAD_CONSUMER})
+    assert finding_lines(report, "canonical-fields") == []

@@ -1,0 +1,118 @@
+"""The ``python -m repro.lint`` command-line surface."""
+
+import json
+import os
+
+import pytest
+
+from repro.lint.__main__ import main
+
+BAD = "import random\n\n\ndef roll():\n    rng = random.Random()\n"
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    root = tmp_path / "tree"
+    pkg = root / "repro" / "sweep"
+    pkg.mkdir(parents=True)
+    (root / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "m.py").write_text(BAD)
+    return root
+
+
+def test_check_exits_one_on_findings(bad_tree, capsys):
+    assert main(["check", os.fspath(bad_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "[determinism]" in out and "m.py:5:" in out
+
+
+def test_check_exits_zero_on_clean_tree(tmp_path, capsys):
+    clean = tmp_path / "clean"
+    clean.mkdir()
+    (clean / "ok.py").write_text("x = 1\n")
+    assert main(["check", os.fspath(clean), "--strict"]) == 0
+
+
+def test_json_report_shape(bad_tree, capsys):
+    assert main(["check", os.fspath(bad_tree), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["errors"] == 1
+    (finding,) = payload["findings"]
+    assert finding["check"] == "determinism" and finding["line"] == 5
+
+
+def test_update_baseline_then_gate_is_green(bad_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                "check",
+                os.fspath(bad_tree),
+                "--baseline",
+                os.fspath(baseline),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    assert baseline.exists()
+    # Default run is green against the recorded baseline...
+    assert (
+        main(["check", os.fspath(bad_tree), "--baseline", os.fspath(baseline)])
+        == 0
+    )
+    # ...and --strict stays green too while the debt still matches.
+    assert (
+        main(
+            [
+                "check",
+                os.fspath(bad_tree),
+                "--baseline",
+                os.fspath(baseline),
+                "--strict",
+            ]
+        )
+        == 0
+    )
+
+
+def test_stale_baseline_gates_strict_only(bad_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    main(
+        [
+            "check",
+            os.fspath(bad_tree),
+            "--baseline",
+            os.fspath(baseline),
+            "--update-baseline",
+        ]
+    )
+    (bad_tree / "repro" / "sweep" / "m.py").write_text("x = 1\n")  # debt paid
+    args = ["check", os.fspath(bad_tree), "--baseline", os.fspath(baseline)]
+    assert main(args) == 0
+    assert main([*args, "--strict"]) == 1
+
+
+def test_check_filter_and_unknown_ids(bad_tree, capsys):
+    assert main(["check", os.fspath(bad_tree), "--check", "picklability"]) == 0
+    assert main(["check", os.fspath(bad_tree), "--check", "nonsense"]) == 2
+    assert "unknown checker" in capsys.readouterr().err
+
+
+def test_missing_path_is_a_usage_error(capsys):
+    assert main(["check", "no/such/path"]) == 2
+
+
+def test_checks_subcommand_lists_all_six(capsys):
+    assert main(["checks"]) == 0
+    out = capsys.readouterr().out
+    for check_id in (
+        "backend-protocol",
+        "canonical-fields",
+        "determinism",
+        "event-schema",
+        "lock-discipline",
+        "picklability",
+    ):
+        assert check_id in out

@@ -1,0 +1,93 @@
+"""Good/bad pairs for the determinism checker."""
+
+from repro.lint.checkers.determinism import DeterminismChecker
+
+from tests.lint.conftest import finding_lines, finding_messages
+
+GOOD = '''\
+import random
+import time
+
+
+def pace(rng: random.Random) -> float:
+    started = time.monotonic()  # monotonic pacing is allowed
+    value = rng.uniform(0.0, 1.0)
+    seeded = random.Random(42)
+    return started + value + seeded.random()
+'''
+
+BAD = '''\
+import random
+import time
+from datetime import datetime
+
+
+def stamp():
+    now = time.time()
+    also = datetime.now()
+    return now, also
+
+
+def roll():
+    rng = random.Random()
+    return rng.random() + random.uniform(0.0, 1.0)
+'''
+
+
+def test_clean_module_produces_nothing(make_tree):
+    report = make_tree({"repro/sweep/good.py": GOOD})
+    assert finding_lines(report, "determinism") == []
+
+
+def test_bad_module_flags_every_site(make_tree):
+    report = make_tree({"repro/sweep/bad.py": BAD})
+    # time.time() + datetime.now() + unseeded Random() + global uniform().
+    assert finding_lines(report, "determinism") == [7, 8, 13, 14]
+
+
+def test_scope_is_module_prefix_based(make_tree):
+    # The same source outside the canonical prefixes is not held to the
+    # contract: analysis scripts may read clocks freely.
+    report = make_tree({"repro/analysis/bad.py": BAD})
+    assert finding_lines(report, "determinism") == []
+
+
+def test_wall_clock_reference_without_call_is_flagged(make_tree):
+    source = (
+        "import time\n"
+        "\n"
+        "def observer(clock=time.time):\n"
+        "    return clock\n"
+    )
+    report = make_tree({"repro/serve/seam.py": source})
+    assert finding_lines(report, "determinism") == [3]
+
+
+def test_shadowed_name_is_not_mistaken_for_the_module(make_tree):
+    source = (
+        "def kernel(random):\n"
+        "    # `random` is a parameter here, not the stdlib module\n"
+        "    return random.uniform(0.0, 1.0)\n"
+    )
+    report = make_tree({"repro/sweep/shadow.py": source})
+    assert finding_lines(report, "determinism") == []
+
+
+def test_numpy_global_rng_and_unseeded_default_rng(make_tree):
+    source = (
+        "import numpy as np\n"
+        "\n"
+        "def sample():\n"
+        "    legacy = np.random.rand(3)\n"
+        "    fresh = np.random.default_rng()\n"
+        "    good = np.random.default_rng(7)\n"
+        "    return legacy, fresh, good\n"
+    )
+    report = make_tree({"repro/pipeline/noise.py": source})
+    assert finding_lines(report, "determinism") == [4, 5]
+
+
+def test_custom_prefixes(make_tree):
+    checker = DeterminismChecker(prefixes=("repro.analysis",))
+    report = make_tree({"repro/analysis/bad.py": BAD}, checkers=[checker])
+    assert len(finding_messages(report, "determinism")) == 4

@@ -1,0 +1,119 @@
+"""Cross-module event-schema completeness, on synthetic package trees."""
+
+from tests.lint.conftest import finding_lines, finding_messages
+
+EVENTS = '''\
+class RunEvent:
+    kind = ""
+
+
+class PointStarted(RunEvent):
+    kind = "point_started"
+
+
+class CheckpointFlushed(RunEvent):
+    kind = "checkpoint_flushed"
+'''
+
+EVENTLOG = '''\
+from repro.sweep.events import CheckpointFlushed, PointStarted
+
+_RECORD_EVENTS = {}
+_FLAT_EVENTS = {
+    "point_started": PointStarted,
+    "checkpoint_flushed": CheckpointFlushed,
+}
+'''
+
+FOLLOW = '''\
+class _EventLogTailer:
+    def _consume(self, payload):
+        kind = payload.get("kind")
+        if kind == "point_started":
+            return 1
+        elif kind == "checkpoint_flushed":
+            pass  # explicit no-op
+        return 0
+'''
+
+
+def test_complete_schema_is_clean(make_tree):
+    report = make_tree(
+        {
+            "repro/sweep/events.py": EVENTS,
+            "repro/sweep/eventlog.py": EVENTLOG,
+            "repro/sweep/follow.py": FOLLOW,
+        }
+    )
+    assert finding_lines(report, "event-schema") == []
+
+
+def test_unregistered_event_is_reported_against_its_definition(make_tree):
+    # A synthetic event added to events.py but nowhere else: the
+    # cross-module pass must anchor both findings at the class definition.
+    events = EVENTS + (
+        "\n\nclass GhostEvent(RunEvent):\n    kind = \"ghost\"\n"
+    )
+    report = make_tree(
+        {
+            "repro/sweep/events.py": events,
+            "repro/sweep/eventlog.py": EVENTLOG,
+            "repro/sweep/follow.py": FOLLOW,
+        }
+    )
+    lines = finding_lines(report, "event-schema")
+    assert lines == [13, 13]  # serializer + follow, both at `class GhostEvent`
+    messages = " ".join(finding_messages(report, "event-schema"))
+    assert "serializer" in messages and "follow dispatcher" in messages
+
+
+def test_missing_follow_branch_only(make_tree):
+    follow = FOLLOW.replace(
+        '        elif kind == "checkpoint_flushed":\n            pass  # explicit no-op\n',
+        "",
+    )
+    report = make_tree(
+        {
+            "repro/sweep/events.py": EVENTS,
+            "repro/sweep/eventlog.py": EVENTLOG,
+            "repro/sweep/follow.py": follow,
+        }
+    )
+    messages = finding_messages(report, "event-schema")
+    assert len(messages) == 1 and "follow dispatcher" in messages[0]
+    assert "checkpoint_flushed" in messages[0]
+
+
+def test_event_without_kind_literal(make_tree):
+    events = EVENTS + "\n\nclass Tagless(RunEvent):\n    pass\n"
+    report = make_tree(
+        {
+            "repro/sweep/events.py": events,
+            "repro/sweep/eventlog.py": EVENTLOG,
+            "repro/sweep/follow.py": FOLLOW,
+        }
+    )
+    messages = finding_messages(report, "event-schema")
+    assert len(messages) == 1 and "no literal kind" in messages[0]
+
+
+def test_pass_skips_when_serializer_and_follow_absent(make_tree):
+    # Linting events.py alone (e.g. a single-file invocation) must not
+    # invent findings about modules it cannot see.
+    report = make_tree({"repro/sweep/events.py": EVENTS})
+    assert finding_lines(report, "event-schema") == []
+
+
+def test_transitive_subclasses_are_covered(make_tree):
+    events = EVENTS + (
+        "\n\nclass PointDone(PointStarted):\n    kind = \"point_done\"\n"
+    )
+    report = make_tree(
+        {
+            "repro/sweep/events.py": events,
+            "repro/sweep/eventlog.py": EVENTLOG,
+            "repro/sweep/follow.py": FOLLOW,
+        }
+    )
+    messages = " ".join(finding_messages(report, "event-schema"))
+    assert "PointDone" in messages

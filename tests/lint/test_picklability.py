@@ -1,0 +1,77 @@
+"""Picklability at pool submission and backend-registration seams."""
+
+from tests.lint.conftest import finding_lines, finding_messages
+
+GOOD = '''\
+def _evaluate_chunk(chunk):
+    return chunk
+
+
+def run(pool, chunks):
+    return [pool.submit(_evaluate_chunk, chunk) for chunk in chunks]
+'''
+
+BAD = '''\
+def run(pool, chunks):
+    def local_eval(chunk):
+        return chunk
+
+    futures = [pool.submit(local_eval, chunk) for chunk in chunks]
+    futures.append(pool.submit(lambda: None))
+    return futures
+'''
+
+
+def test_module_level_callables_are_clean(make_tree):
+    report = make_tree({"repro/sweep/good.py": GOOD})
+    assert finding_lines(report, "picklability") == []
+
+
+def test_lambda_and_closure_submissions_are_flagged(make_tree):
+    report = make_tree({"repro/sweep/bad.py": BAD})
+    assert finding_lines(report, "picklability") == [5, 6]
+    messages = " ".join(finding_messages(report, "picklability"))
+    assert "local_eval" in messages and "lambda" in messages
+
+
+def test_register_backend_factory_shapes(make_tree):
+    source = (
+        "from repro.pipeline.backends import register_backend\n"
+        "\n"
+        "\n"
+        "def _factory():\n"
+        "    return object()\n"
+        "\n"
+        "\n"
+        "def install():\n"
+        "    register_backend('good', _factory)\n"
+        "    register_backend('bad', lambda: object())\n"
+        "    def local_factory():\n"
+        "        return object()\n"
+        "    register_backend('worse', factory=local_factory)\n"
+    )
+    report = make_tree({"repro/pipeline/plugins.py": source})
+    assert finding_lines(report, "picklability") == [10, 13]
+
+
+def test_executor_map_receiver_heuristic(make_tree):
+    source = (
+        "def run(executor, values, mapping):\n"
+        "    a = executor.map(lambda v: v, values)  # flagged: executor\n"
+        "    b = mapping.map(lambda v: v)  # not an executor name\n"
+        "    return a, b\n"
+    )
+    report = make_tree({"repro/sweep/maps.py": source})
+    assert finding_lines(report, "picklability") == [2]
+
+
+def test_local_class_passed_to_submit(make_tree):
+    source = (
+        "def run(pool):\n"
+        "    class Job:\n"
+        "        pass\n"
+        "    return pool.submit(Job)\n"
+    )
+    report = make_tree({"repro/sweep/cls.py": source})
+    messages = finding_messages(report, "picklability")
+    assert len(messages) == 1 and "class 'Job'" in messages[0]

@@ -1,0 +1,112 @@
+"""Pragma and baseline suppression semantics."""
+
+from repro.lint import Baseline, Finding
+
+BAD_LINE = "    rng = random.Random()\n"
+
+MODULE = "import random\n\n\ndef roll():\n" + BAD_LINE
+
+
+def _one_finding(report):
+    assert len(report.findings) == 1, report.format_text()
+    return report.findings[0]
+
+
+def test_trailing_pragma_suppresses_own_line(make_tree):
+    source = MODULE.replace(
+        BAD_LINE,
+        "    rng = random.Random()  # repro: allow[determinism] test jitter\n",
+    )
+    report = make_tree({"repro/sweep/m.py": source})
+    assert report.findings == []
+    assert len(report.pragma_suppressed) == 1
+    assert report.pragma_suppressed[0].check == "determinism"
+
+
+def test_standalone_pragma_covers_next_line(make_tree):
+    source = MODULE.replace(
+        BAD_LINE,
+        "    # repro: allow[determinism] test jitter\n" + BAD_LINE,
+    )
+    report = make_tree({"repro/sweep/m.py": source})
+    assert report.findings == []
+    assert len(report.pragma_suppressed) == 1
+
+
+def test_pragma_for_a_different_check_does_not_apply(make_tree):
+    source = MODULE.replace(
+        BAD_LINE,
+        "    rng = random.Random()  # repro: allow[picklability] wrong id\n",
+    )
+    report = make_tree({"repro/sweep/m.py": source})
+    assert _one_finding(report).check == "determinism"
+
+
+def test_wildcard_pragma_suppresses_everything(make_tree):
+    source = MODULE.replace(
+        BAD_LINE,
+        "    rng = random.Random()  # repro: allow[*] fixture\n",
+    )
+    report = make_tree({"repro/sweep/m.py": source})
+    assert report.findings == []
+
+
+def test_baseline_absorbs_matching_finding_ignoring_line(make_tree):
+    # Record the finding once, then lint a shifted copy of the module: the
+    # baseline matches on (check, path, message), not offsets.
+    first = make_tree({"repro/sweep/m.py": MODULE})
+    entry = _one_finding(first)
+    shifted = "# a new comment line shifts everything down\n" + MODULE
+    baseline = Baseline([entry])
+    second = make_tree({"repro/sweep/m.py": shifted}, baseline=baseline)
+    assert second.findings == []
+    assert len(second.baseline_suppressed) == 1
+    assert second.stale_baseline == []
+    assert second.exit_code(strict=True) == 0
+
+
+def test_baseline_is_a_multiset(make_tree):
+    doubled = MODULE + "\n\ndef roll_again():\n" + BAD_LINE
+    first = make_tree({"repro/sweep/m.py": doubled})
+    assert len(first.findings) == 2
+    # One baseline entry absorbs one finding; the second still gates.
+    baseline = Baseline([first.findings[0]])
+    second = make_tree({"repro/sweep/m.py": doubled}, baseline=baseline)
+    assert len(second.findings) == 1
+    assert len(second.baseline_suppressed) == 1
+
+
+def test_stale_baseline_entries_gate_only_strict(make_tree):
+    stale = Finding(
+        check="determinism",
+        path="repro/sweep/gone.py",
+        line=1,
+        col=0,
+        message="this was fixed long ago",
+    )
+    report = make_tree({"repro/sweep/m.py": "x = 1\n"}, baseline=Baseline([stale]))
+    assert report.findings == []
+    assert len(report.stale_baseline) == 1
+    assert report.exit_code(strict=False) == 0
+    assert report.exit_code(strict=True) == 1
+    assert "stale" in report.format_text()
+
+
+def test_baseline_round_trip(tmp_path, make_tree):
+    first = make_tree({"repro/sweep/m.py": MODULE})
+    path = tmp_path / "baseline.json"
+    Baseline.write(str(path), first.findings)
+    loaded = Baseline.load(str(path))
+    assert len(loaded) == 1
+    second = make_tree({"repro/sweep/m.py": MODULE}, baseline=loaded)
+    assert second.findings == [] and len(second.baseline_suppressed) == 1
+
+
+def test_absent_baseline_file_is_empty(tmp_path):
+    assert len(Baseline.load(str(tmp_path / "nope.json"))) == 0
+
+
+def test_syntax_errors_become_findings(make_tree):
+    report = make_tree({"repro/sweep/broken.py": "def broken(:\n"})
+    assert any(f.check == "syntax" for f in report.findings)
+    assert report.exit_code() == 1
